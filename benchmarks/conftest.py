@@ -1,0 +1,21 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one table or figure of the paper.  The
+simulated experiments are deterministic and expensive, so each runs
+exactly once (``pedantic(rounds=1)``); pytest-benchmark reports the
+wall-clock cost of regenerating the artifact while the printed output
+carries the actual rows/series, mirroring what the paper reports.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def banner(title: str) -> None:
+    """Print a section header for the regenerated artifact."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")

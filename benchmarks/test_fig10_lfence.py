@@ -1,0 +1,26 @@
+"""Figure 10: the micro-op cache timing signal under CPUID, LFENCE and
+no fencing at the authorization check.
+
+Paper result: a clear signal with no fence, a *persisting* signal with
+LFENCE (the variant-2 bypass), and no signal with CPUID.
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro.core.transient import LfenceBypass
+
+
+def test_fig10_fence_comparison(benchmark):
+    signals = run_once(benchmark, lambda: LfenceBypass().figure10(rounds=8))
+    banner("Figure 10 -- variant-2 signal vs synchronisation primitive")
+    for name in ("none", "lfence", "cpuid"):
+        sig = signals[name]
+        print(f"  {name:7s}: secret=0 probe {sig.timing.hit_mean:8.1f} cyc, "
+              f"secret=1 probe {sig.timing.miss_mean:8.1f} cyc, "
+              f"signal {sig.signal:8.1f} cyc")
+    assert signals["none"].signal > 100
+    assert signals["lfence"].signal > 100  # LFENCE bypassed
+    assert abs(signals["cpuid"].signal) < 50  # CPUID kills it
+    assert signals["lfence"].signal > 0.5 * signals["none"].signal
+    benchmark.extra_info["signal_none"] = signals["none"].signal
+    benchmark.extra_info["signal_lfence"] = signals["lfence"].signal
+    benchmark.extra_info["signal_cpuid"] = signals["cpuid"].signal

@@ -1,0 +1,32 @@
+"""Figure 9: tuning set/way occupancy and sample count.
+
+Paper result: bandwidth rises as sets/samples shrink (peaking over
+1.2 Mbps at 1 set / few samples, with ~15% errors); the error rate
+drops below 1% once 8 sets are probed; the way count has little effect
+on accuracy.
+"""
+
+from benchmarks.conftest import banner, run_once
+from repro.core.covert import ChannelParams, tune
+
+
+def test_fig9_channel_tuning(benchmark):
+    payload = b"\x5a\xa5\x3c\xc3"
+    results = run_once(benchmark, lambda: tune(payload))
+    banner("Figure 9 -- bandwidth and error rate vs nsets/nways/samples")
+    for axis in ("nsets", "nways", "samples"):
+        print(f"  sweep over {axis} (others at operating point):")
+        for value, bw, err in results[axis]:
+            print(f"    {axis}={value:3d}  bandwidth={bw:8.0f} Kbps  "
+                  f"error={err * 100:6.2f}%")
+
+    nsets = {v: (bw, err) for v, bw, err in results["nsets"]}
+    samples = {v: (bw, err) for v, bw, err in results["samples"]}
+    # bandwidth falls as sets grow; error falls as sets grow
+    assert nsets[1][0] > nsets[16][0]
+    assert nsets[16][1] <= nsets[1][1]
+    assert nsets[8][1] < 0.05  # paper: <1% at 8 sets (we allow 5%)
+    # more samples: lower bandwidth
+    assert samples[1][0] > samples[20][0]
+    benchmark.extra_info["bw_1set_kbps"] = nsets[1][0]
+    benchmark.extra_info["err_8sets"] = nsets[8][1]

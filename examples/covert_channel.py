@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Send a message between two code regions over the micro-op cache
+(Section V-A), then repeat across the user/kernel boundary and across
+SMT threads -- reporting Table-I-style bandwidth and error rates.
+
+Run:  python examples/covert_channel.py [message]
+"""
+
+import sys
+
+from repro.core.covert import ChannelParams, CovertChannel
+from repro.core.crossdomain import CrossDomainChannel, CrossDomainParams
+from repro.core.smtchannel import SMTChannel, SMTChannelParams
+from repro.cpu.noise import NoiseModel
+
+
+def report(name, rep, timing):
+    print(f"{name}:")
+    print(f"  signal: hit {timing.hit_mean:.0f} cyc vs miss "
+          f"{timing.miss_mean:.0f} cyc (delta {timing.delta:.0f})")
+    print(f"  {rep.bits_sent} bits sent, {rep.bit_errors} errors "
+          f"({rep.error_rate * 100:.2f}%)")
+    print(f"  bandwidth: {rep.bandwidth_kbps:.0f} Kbit/s over "
+          f"{rep.total_cycles} simulated cycles")
+
+
+def main():
+    message = (sys.argv[1] if len(sys.argv) > 1 else "I see dead uops").encode()
+    noise = NoiseModel(evict_prob=0.005, jitter_sd=15.0, seed=1)
+
+    print("=== same-address-space tiger/zebra channel ===")
+    chan = CovertChannel(ChannelParams(), noise=noise)
+    timing = chan.calibrate()
+    rep = chan.transmit(message)
+    report("same address space", rep, timing)
+
+    print("\n=== with Reed-Solomon error correction ===")
+    rep_ecc = chan.transmit(message, ecc=True)
+    print(f"  raw error rate {rep_ecc.error_rate * 100:.2f}%, payload "
+          f"recovered exactly: {rep_ecc.corrected_ok}")
+    print(f"  corrected goodput: {rep_ecc.corrected_bandwidth_kbps:.0f} "
+          f"Kbit/s (x{rep_ecc.ecc_overhead:.2f} inflation)")
+
+    print("\n=== user/kernel cross-domain channel ===")
+    xchan = CrossDomainChannel(CrossDomainParams())
+    xtiming = xchan.calibrate()
+    xrep = xchan.transmit(message[:8])
+    report("user/kernel", xrep, xtiming)
+
+    print("\n=== cross-SMT-thread channel (AMD Zen config) ===")
+    schan = SMTChannel(SMTChannelParams())
+    stiming = schan.calibrate()
+    srep = schan.transmit(message[:4])
+    report("cross-SMT", srep, stiming)
+
+
+if __name__ == "__main__":
+    main()

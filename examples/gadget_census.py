@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Gadget census (Section VI-A): scan a kernel-like code corpus for
+transient-leak gadgets and compare the abundance of micro-op-cache
+gadgets against classic Spectre-v1 gadgets.
+
+The paper's taint analysis found 100 micro-op-cache gadgets in the
+Linux kernel against 19 Spectre-v1 gadgets (plus 37 carrying a bit
+mask and dependent branch).  We reproduce the census methodology on a
+synthetic corpus with controlled pattern densities.
+
+Run:  python examples/gadget_census.py [n_functions]
+"""
+
+import sys
+
+from repro.core.gadgets import GadgetKind, generate_corpus, scan
+from repro.isa.disasm import disassemble
+
+
+def main():
+    functions = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    corpus = generate_corpus(functions=functions)
+    print(f"corpus: {functions} functions, "
+          f"{len(corpus.instructions)} instructions, "
+          f"{corpus.code_bytes} code bytes\n")
+
+    census = scan(corpus)
+    plain = census.count(GadgetKind.UOP_CACHE)
+    masked = census.count(GadgetKind.MASKED_TRANSMIT)
+    spectre = census.spectre_v1_total
+    print("gadget census:")
+    print(f"  usable by the micro-op cache attack: "
+          f"{census.uop_cache_total}  (paper found 100 in Linux)")
+    print(f"    plain bounds-check + indexed load: {plain}")
+    print(f"    with bit-mask + dependent branch:  {masked} "
+          "(paper: 37)")
+    print(f"  usable by classic Spectre-v1:        {spectre} "
+          "(paper: 19)")
+    ratio = census.uop_cache_total / max(spectre, 1)
+    print(f"\n  abundance ratio: {ratio:.1f}x "
+          "(paper: ~5.3x) -- every Spectre-v1 gadget is also a "
+          "micro-op cache gadget, but not vice versa")
+
+    g = census.gadgets[0]
+    print(f"\nfirst finding: {g}")
+    print("disassembly around it:")
+    print(disassemble(corpus, start=g.check_addr - 16,
+                      end=(g.extra_addr or g.load_addr) + 16))
+
+
+if __name__ == "__main__":
+    main()

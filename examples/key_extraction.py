@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""End-to-end demo: extract a modular-exponentiation key from a
+sibling SMT thread through the micro-op cache.
+
+The victim runs textbook left-to-right square-and-multiply
+(``base ** key mod 2^31-1``).  ``multiply`` only executes for *one*
+bits, and its code occupies specific micro-op cache sets -- so a spy on
+the other SMT thread of an AMD-Zen-style core (competitively shared
+micro-op cache, paper Section V-B) watches its probe of those sets
+spike once per one bit.  Calibration uses chosen keys on the
+attacker's own copy of the binary, exactly as real key-extraction
+attacks do.
+
+Run:  python examples/key_extraction.py [nbits]
+"""
+
+import random
+import sys
+
+from repro.core.keyextract import MODULUS, KeyExtractor
+from repro.cpu.config import CPUConfig
+
+
+def main():
+    nbits = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    rng = random.Random(2021)
+    key = (1 << (nbits - 1)) | rng.getrandbits(nbits - 1)
+
+    print(f"victim: computes base^key mod 2^31-1 with square-and-multiply")
+    print(f"secret key ({nbits} bits): {key:0{nbits}b}\n")
+
+    extractor = KeyExtractor(nbits=nbits)
+    d_one, d_zero = extractor.calibrate()
+    print(f"calibration (chosen keys on the attacker's own copy):")
+    print(f"  1-iteration (square+multiply): ~{d_one:.0f} cycles")
+    print(f"  0-iteration (square only):     ~{d_zero:.0f} cycles\n")
+
+    result = extractor.extract(key)
+    print(f"victim's modexp result: {result.modexp_result} "
+          f"(correct: {result.modexp_result == pow(0x12345, key, MODULUS)})")
+    print(f"spy observed {len(result.spikes)} multiply bursts")
+    print(f"recovered key: {result.recovered_key:0{nbits}b}")
+    print(f"bit errors:    {result.bit_errors}/{nbits} "
+          f"({(1 - result.bit_errors / nbits) * 100:.0f}% accuracy)"
+          + ("  -- exact recovery!" if result.exact else ""))
+
+    print("\ncontrol: the same attack against Intel's statically")
+    print("partitioned micro-op cache sees nothing:")
+    from repro.core.keyextract import ModexpVictim
+
+    victim = ModexpVictim(nbits=nbits, config=CPUConfig.skylake())
+    _, samples = victim.run_pair(key)
+    spikes = KeyExtractor._spikes(samples)
+    print(f"  spikes observed on Skylake config: {len(spikes)}")
+
+
+if __name__ == "__main__":
+    main()

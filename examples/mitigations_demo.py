@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Section VIII mitigations in action: flushing the micro-op cache at
+domain crossings and privilege-level partitioning both close the
+user/kernel channel (at a cost) -- but privilege partitioning does NOT
+stop the variant-1 attack, whose priming and probing are entirely
+user-mode.  A counter-based monitor detects loud attacks and misses
+throttled ones.
+
+Run:  python examples/mitigations_demo.py
+"""
+
+from repro.core.mitigations import (
+    UopCacheMonitor,
+    evaluate_crossdomain_mitigations,
+    variant1_under_partitioning,
+)
+
+
+def main():
+    print("=== user/kernel channel vs mitigations ===")
+    outcomes = evaluate_crossdomain_mitigations(b"\xa5\x5a")
+    baseline_cycles = outcomes[0].kernel_cycles
+    for o in outcomes:
+        slowdown = o.kernel_cycles / baseline_cycles
+        print(f"  {o.name:22s} signal={o.signal_delta:8.1f} cyc  "
+              f"error={o.error_rate * 100:5.1f}%  "
+              f"closed={str(o.channel_closed):5s}  "
+              f"cost={slowdown:.2f}x")
+
+    print("\n=== variant-1 vs privilege partitioning ===")
+    base_acc, part_acc = variant1_under_partitioning(b"\x5a")
+    print(f"  baseline accuracy:              {base_acc * 100:.0f}%")
+    print(f"  privilege-partitioned accuracy: {part_acc * 100:.0f}%")
+    print("  -> the attack adapts its tiger geometry to the halved "
+          "user partition and still leaks (paper, Section VIII)")
+
+    print("\n=== performance-counter monitoring ===")
+    monitor = UopCacheMonitor(sigma=3.0)
+    benign = [12, 14, 11, 13, 15, 12, 10, 14, 13, 12]
+    loud_attack = [240, 310, 280, 260]
+    stealthy_attack = [15, 16, 14, 15]
+    loud = monitor.evaluate(benign, loud_attack)
+    print(f"  loud attack:     {loud.detection_rate * 100:.0f}% of windows "
+          f"flagged (threshold {loud.threshold:.1f} misses/window)")
+    stealth = monitor.evaluate(benign, stealthy_attack)
+    print(f"  throttled attack: {stealth.detection_rate * 100:.0f}% flagged "
+          "-- mimicry evades counter-based detection (the paper's caveat)")
+
+
+if __name__ == "__main__":
+    main()

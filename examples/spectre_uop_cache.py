@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Variant-1 transient-execution attack (Section VI-A): bypass a bounds
+check and leak a secret string bit-by-bit through the micro-op cache,
+then compare against the classic Spectre-v1 FLUSH+RELOAD baseline
+(Table II).
+
+Run:  python examples/spectre_uop_cache.py [secret]
+"""
+
+import sys
+
+from repro.core.transient import ClassicSpectreV1, UopCacheSpectreV1
+
+
+def main():
+    secret = (sys.argv[1] if len(sys.argv) > 1 else "uops!").encode()
+
+    print(f"victim secret: {secret!r}")
+    print("\n=== micro-op cache Spectre (variant-1) ===")
+    attack = UopCacheSpectreV1(secret=secret)
+    timing = attack.calibrate()
+    print(f"probe calibration: delta {timing.delta:.0f} cycles "
+          f"(sd {timing.delta_sd:.0f})")
+    stats = attack.leak()
+    print(f"leaked:   {stats.leaked!r}")
+    print(f"accuracy: {stats.byte_accuracy * 100:.0f}% of bytes, "
+          f"{stats.bit_errors} bit errors")
+    print(f"cost:     {stats.total_cycles} cycles "
+          f"({stats.seconds * 1e6:.1f} us simulated), "
+          f"{stats.bandwidth_kbps:.1f} Kbit/s")
+    print(f"stealth:  {stats.counters.llc_refs} LLC references, "
+          f"{stats.counters.dsb_miss_penalty_cycles} uop-cache penalty "
+          "cycles")
+
+    print("\n=== classic Spectre-v1 baseline (FLUSH+RELOAD) ===")
+    classic = ClassicSpectreV1(secret=secret)
+    cstats = classic.leak()
+    print(f"leaked:   {cstats.leaked!r}")
+    print(f"cost:     {cstats.total_cycles} cycles "
+          f"({cstats.seconds * 1e6:.1f} us simulated)")
+    print(f"traffic:  {cstats.counters.llc_refs} LLC references, "
+          f"{cstats.counters.llc_misses} LLC misses")
+
+    print("\n=== Table II shape check ===")
+    print(f"speedup over classic:    "
+          f"{cstats.total_cycles / stats.total_cycles:.2f}x (paper: 2.6x)")
+    print(f"LLC reference reduction: "
+          f"{cstats.counters.llc_refs / max(stats.counters.llc_refs, 1):.1f}x "
+          "(paper: ~5x)")
+
+    print("\n=== LFENCE mitigates the classic variant ===")
+    fenced = ClassicSpectreV1(secret=secret, lfence=True)
+    fstats = fenced.leak()
+    print(f"with LFENCE the baseline leaks {fstats.byte_accuracy * 100:.0f}% "
+          "of bytes (the uop-cache variant-2 is NOT stopped by LFENCE -- "
+          "see examples/lfence_bypass.py)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro: reproduction of "I See Dead uops: Leaking Secrets via
+Intel/AMD Micro-Op Caches" (Ren et al., ISCA 2021).
+
+The package is layered:
+
+- substrates: :mod:`repro.isa`, :mod:`repro.memory`, :mod:`repro.branch`,
+  :mod:`repro.uopcache`, :mod:`repro.frontend`, :mod:`repro.backend`,
+  :mod:`repro.cpu`, :mod:`repro.coding`;
+- the paper's contribution: :mod:`repro.core` (characterization,
+  tiger/zebra exploit generation, covert channels, transient-execution
+  attacks, mitigations).
+
+Quick start::
+
+    from repro import Assembler, Core, CPUConfig, encodings as enc
+
+    asm = Assembler()
+    asm.label("main")
+    asm.emit(enc.nop(15), enc.nop(15), enc.nop(2))
+    asm.emit(enc.halt())
+    core = Core(CPUConfig.skylake(), asm.assemble(entry="main"))
+    counters = core.call("main")
+"""
+
+from repro.cpu.config import CPUConfig
+from repro.cpu.core import Core
+from repro.cpu.counters import PerfCounters
+from repro.cpu.noise import NoiseModel
+from repro.isa import encodings
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.errors import ConfigError, ReproError, SimFault
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assembler",
+    "CPUConfig",
+    "ConfigError",
+    "Core",
+    "NoiseModel",
+    "PerfCounters",
+    "Program",
+    "ReproError",
+    "SimFault",
+    "encodings",
+    "__version__",
+]

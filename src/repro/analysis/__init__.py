@@ -1,0 +1,23 @@
+"""Analysis utilities over channel measurements and detector traces.
+
+The paper reports raw bandwidth, error rate and error-corrected
+bandwidth; this package adds the standard information-theoretic view
+(binary-symmetric-channel capacity, effective goodput), a helper for
+budgeting Reed-Solomon parity against a measured error rate, and ROC
+sweeps for the counter-based detector of Section VIII.
+"""
+
+from repro.analysis.channel import (
+    bsc_capacity,
+    effective_goodput_kbps,
+    recommend_rs_parity,
+)
+from repro.analysis.detector import DetectorROC, roc_sweep
+
+__all__ = [
+    "DetectorROC",
+    "bsc_capacity",
+    "effective_goodput_kbps",
+    "recommend_rs_parity",
+    "roc_sweep",
+]

@@ -1,0 +1,63 @@
+"""ROC analysis for the counter-based attack detector (Section VIII).
+
+The paper warns that performance-counter monitoring is "inherently
+prone to misclassification errors"; a ROC sweep over the detection
+threshold quantifies exactly that trade-off for a given benign/attack
+trace pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class DetectorROC:
+    """Operating points of a threshold detector."""
+
+    points: List[Tuple[float, float, float]]  # (threshold, fpr, tpr)
+
+    @property
+    def auc(self) -> float:
+        """Area under the ROC curve (trapezoidal over sorted FPR)."""
+        pts = sorted((fpr, tpr) for _, fpr, tpr in self.points)
+        pts = [(0.0, 0.0)] + pts + [(1.0, 1.0)]
+        area = 0.0
+        for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+            area += (x1 - x0) * (y0 + y1) / 2.0
+        return area
+
+    def best_threshold(self, max_fpr: float = 0.01) -> Tuple[float, float]:
+        """Highest-TPR threshold whose FPR stays within budget.
+
+        Returns (threshold, tpr); tpr is 0.0 if nothing qualifies.
+        """
+        best = (float("inf"), 0.0)
+        for threshold, fpr, tpr in self.points:
+            if fpr <= max_fpr and tpr > best[1]:
+                best = (threshold, tpr)
+        return best
+
+
+def roc_sweep(
+    benign_windows: Sequence[float],
+    attack_windows: Sequence[float],
+    n_thresholds: int = 64,
+) -> DetectorROC:
+    """Sweep the miss-count threshold across the observed range."""
+    if not benign_windows or not attack_windows:
+        raise ValueError("need both benign and attack windows")
+    lo = min(min(benign_windows), min(attack_windows))
+    hi = max(max(benign_windows), max(attack_windows))
+    points = []
+    for i in range(n_thresholds + 1):
+        threshold = lo + (hi - lo) * i / n_thresholds
+        fpr = sum(1 for w in benign_windows if w > threshold) / len(
+            benign_windows
+        )
+        tpr = sum(1 for w in attack_windows if w > threshold) / len(
+            attack_windows
+        )
+        points.append((threshold, fpr, tpr))
+    return DetectorROC(points)

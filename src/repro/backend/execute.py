@@ -1,0 +1,302 @@
+"""Functional-first execution with scoreboard timing.
+
+Each fetched micro-op is processed exactly once, in fetch (i.e.
+speculative program) order.  Processing does two things:
+
+1. **Functional execution** against the thread's architectural
+   registers and the store buffer, rolled forward eagerly.  On a
+   squash, the core restores a checkpoint, rewinding these effects.
+2. **Timing** via a register scoreboard: a micro-op starts executing
+   at ``max(dispatch slot, operand readiness, fence floor)`` -- an
+   out-of-order dataflow model.  Branch *resolution time* is the
+   branch micro-op's completion time, which is what opens transient
+   windows when the branch's operands arrive late (e.g. a flushed
+   bounds variable missing to DRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.backend.storebuffer import StoreBuffer
+from repro.cpu.config import CPUConfig
+from repro.cpu.thread import KERNEL_PRIV, ThreadContext, USER_PRIV
+from repro.frontend.pipeline import FetchedUop
+from repro.isa.instruction import UopKind
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mainmem import MainMemory
+
+_MASK64 = (1 << 64) - 1
+
+# flags bitfield
+_ZF = 1
+_SF = 2
+_CF = 4
+
+
+def _signed(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >> 63 else value
+
+
+def _compare_flags(a: int, b: int) -> int:
+    """Flags from ``a - b`` (ZF/SF/CF subset)."""
+    flags = 0
+    if (a - b) & _MASK64 == 0:
+        flags |= _ZF
+    if _signed(a) - _signed(b) < 0:
+        flags |= _SF
+    if (a & _MASK64) < (b & _MASK64):
+        flags |= _CF
+    return flags
+
+
+def _eval_cond(cond: str, flags: int) -> bool:
+    if cond == "z":
+        return bool(flags & _ZF)
+    if cond == "nz":
+        return not flags & _ZF
+    if cond == "b":
+        return bool(flags & _CF)
+    if cond == "ae":
+        return not flags & _CF
+    if cond in ("l", "s"):
+        return bool(flags & _SF)
+    if cond in ("ge", "ns"):
+        return not flags & _SF
+    raise ValueError(f"unknown condition code {cond!r}")
+
+
+def _alu(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return (a + b) & _MASK64
+    if op == "sub":
+        return (a - b) & _MASK64
+    if op == "and":
+        return a & b & _MASK64
+    if op == "or":
+        return (a | b) & _MASK64
+    if op == "xor":
+        return (a ^ b) & _MASK64
+    if op == "shl":
+        return (a << (b & 63)) & _MASK64
+    if op == "shr":
+        return (a & _MASK64) >> (b & 63)
+    if op == "imul":
+        return (a * b) & _MASK64
+    raise ValueError(f"unknown ALU op {op!r}")
+
+
+@dataclass
+class ResolveInfo:
+    """Outcome of a control-flow micro-op, produced at execution."""
+
+    dynuop: FetchedUop
+    taken: bool
+    actual_target: Optional[int]
+    resolve_cycle: int
+
+
+class Backend:
+    """Executes micro-ops for all threads of one core."""
+
+    def __init__(
+        self,
+        config: CPUConfig,
+        memory: MainMemory,
+        hierarchy: MemoryHierarchy,
+        rdtsc_jitter: Optional[Callable[[], int]] = None,
+    ):
+        self.config = config
+        self.memory = memory
+        self.hierarchy = hierarchy
+        self.rdtsc_jitter = rdtsc_jitter
+        self.store_buffers = {0: StoreBuffer(), 1: StoreBuffer()}
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, du: FetchedUop, thread: ThreadContext) -> int:
+        """Assign a dispatch cycle respecting the dispatch width."""
+        cycle = max(du.fetch_cycle, thread.dispatch_cycle)
+        if cycle > thread.dispatch_cycle:
+            thread.dispatch_cycle = cycle
+            thread.dispatch_slots_used = 0
+        thread.dispatch_slots_used += 1
+        if thread.dispatch_slots_used > self.config.dispatch_width:
+            thread.dispatch_cycle += 1
+            thread.dispatch_slots_used = 1
+        du.dispatch_cycle = thread.dispatch_cycle
+        return thread.dispatch_cycle
+
+    def _address(self, uop, regs) -> int:
+        addr = regs[uop.base] + uop.disp if uop.base else uop.disp
+        if uop.index is not None:
+            addr += regs[uop.index] * uop.scale
+        return addr & _MASK64
+
+    def process(
+        self,
+        du: FetchedUop,
+        thread: ThreadContext,
+        kill_time: Optional[int] = None,
+        suppress_data: bool = False,
+    ) -> Optional[ResolveInfo]:
+        """Execute one micro-op functionally and time it.
+
+        ``kill_time`` is the earliest resolution cycle of an *older*
+        already-discovered misprediction: a micro-op whose execution
+        would only begin at or after that cycle never issues on real
+        hardware, so its microarchitectural side effects (data-cache
+        accesses, CLFLUSH) are suppressed -- this is what makes LFENCE
+        actually block Spectre-v1's disclosure loads while leaving the
+        *front-end* (micro-op cache) effects of fetch fully intact.
+        Functional effects still roll forward; the squash discards
+        them.
+
+        Returns branch-resolution info for control micro-ops so the
+        core can verify the front end's prediction.
+        """
+        uop = du.uop
+        regs = thread.regs
+        sbuf = self.store_buffers[thread.thread_id]
+        counters = thread.counters
+
+        dispatch = self._dispatch(du, thread)
+        ready = dispatch
+        for reg in uop.reads():
+            t = thread.reg_ready.get(reg, 0)
+            if t > ready:
+                ready = t
+        start = max(ready, thread.exec_floor)
+
+        kind = uop.kind
+        latency = uop.latency
+        taken = True
+        actual_target: Optional[int] = None
+        resolve: Optional[ResolveInfo] = None
+
+        if kind in (UopKind.LFENCE, UopKind.MFENCE, UopKind.RDTSC, UopKind.CPUID):
+            # Serialise against all older in-flight completions.
+            start = max(start, thread.oldest_inflight_done)
+
+        suppressed = kill_time is not None and start >= kill_time
+        du.squashed = suppressed
+        # data-side invisibility may be forced by an invisible-
+        # speculation defense even for uops that would issue in time
+        data_hidden = suppressed or suppress_data
+
+        if kind in (UopKind.NOP, UopKind.PAUSE, UopKind.MSROM_FLOW):
+            pass
+        elif kind is UopKind.MOV_IMM:
+            regs[uop.dst] = uop.imm & _MASK64
+        elif kind is UopKind.MOV:
+            regs[uop.dst] = regs[uop.srcs[0]]
+        elif kind is UopKind.ALU:
+            a, b = regs[uop.srcs[0]], regs[uop.srcs[1]]
+            value = _alu(uop.alu_op, a, b)
+            regs[uop.dst] = value
+            if uop.sets_flags:
+                regs["flags"] = _compare_flags(value, 0)
+        elif kind is UopKind.ALU_IMM:
+            value = _alu(uop.alu_op, regs[uop.srcs[0]], uop.imm)
+            regs[uop.dst] = value
+            if uop.sets_flags:
+                regs["flags"] = _compare_flags(value, 0)
+        elif kind is UopKind.CMP:
+            b = regs[uop.srcs[1]] if len(uop.srcs) > 1 else uop.imm
+            regs["flags"] = _compare_flags(regs[uop.srcs[0]], b)
+        elif kind is UopKind.TEST:
+            b = regs[uop.srcs[1]] if len(uop.srcs) > 1 else uop.imm
+            regs["flags"] = _compare_flags(regs[uop.srcs[0]] & b, 0)
+        elif kind is UopKind.LEA:
+            regs[uop.dst] = self._address(uop, regs)
+        elif kind is UopKind.LOAD:
+            addr = self._address(uop, regs)
+            regs[uop.dst] = sbuf.read(addr, uop.mem_size, self.memory)
+            if data_hidden:
+                latency = (
+                    self.hierarchy.l1d.latency
+                    if suppressed
+                    else self.hierarchy.probe_data_latency(addr)
+                )
+            else:
+                latency = self._data_access(addr, counters)
+        elif kind is UopKind.STORE:
+            addr = self._address(uop, regs)
+            sbuf.write(du.seq, addr, regs[uop.srcs[0]], uop.mem_size)
+            latency = 1
+        elif kind is UopKind.JCC:
+            taken = _eval_cond(uop.cond, regs["flags"])
+            actual_target = (
+                uop.target if taken else du.macro.end
+            )
+        elif kind is UopKind.JMP:
+            actual_target = uop.target
+        elif kind is UopKind.JMP_IND:
+            actual_target = regs[uop.srcs[0]]
+        elif kind is UopKind.CALL:
+            regs["rsp"] = (regs["rsp"] - 8) & _MASK64
+            sbuf.write(du.seq, regs["rsp"], du.macro.end, 8)
+            actual_target = uop.target
+        elif kind is UopKind.CALL_IND:
+            actual_target = regs[uop.srcs[0]]
+            regs["rsp"] = (regs["rsp"] - 8) & _MASK64
+            sbuf.write(du.seq, regs["rsp"], du.macro.end, 8)
+        elif kind is UopKind.RET:
+            actual_target = sbuf.read(regs["rsp"], 8, self.memory)
+            regs["rsp"] = (regs["rsp"] + 8) & _MASK64
+        elif kind is UopKind.RDTSC:
+            value = start
+            if self.rdtsc_jitter is not None:
+                value = max(0, value + self.rdtsc_jitter())
+            regs[uop.dst] = value
+        elif kind is UopKind.CLFLUSH:
+            if not data_hidden:
+                self.hierarchy.clflush(self._address(uop, regs))
+        elif kind is UopKind.SYSCALL:
+            thread.privilege = KERNEL_PRIV
+            actual_target = None  # fetch-side linkage decides the target
+        elif kind is UopKind.SYSRET:
+            thread.privilege = USER_PRIV
+            actual_target = None
+        elif kind in (UopKind.LFENCE, UopKind.MFENCE, UopKind.CPUID):
+            pass
+        elif kind is UopKind.HALT:
+            pass
+        else:  # pragma: no cover - template/backend mismatch guard
+            raise NotImplementedError(f"uop kind {kind}")
+
+        done = start + latency
+        du.exec_start = start
+        du.exec_done = done
+        for reg in uop.writes():
+            thread.reg_ready[reg] = done
+        if done > thread.oldest_inflight_done:
+            thread.oldest_inflight_done = done
+        if kind in (UopKind.LFENCE, UopKind.MFENCE):
+            thread.exec_floor = max(thread.exec_floor, done)
+        thread.last_retire = max(thread.last_retire, done)
+        counters.retired_uops += 1
+
+        if uop.is_branch and kind not in (UopKind.SYSCALL, UopKind.SYSRET):
+            resolve = ResolveInfo(du, taken, actual_target, done)
+        return resolve
+
+    def _data_access(self, addr: int, counters) -> int:
+        """Access the data hierarchy and update data-side counters."""
+        result = self.hierarchy.access_data(addr)
+        counters.l1d_refs += 1
+        if result.level != "L1":
+            counters.l1d_misses += 1
+        if result.level in ("LLC", "DRAM"):
+            counters.llc_refs += 1
+            if result.level == "DRAM":
+                counters.llc_misses += 1
+        return result.latency
+
+    # ------------------------------------------------------------------
+
+    def store_buffer(self, thread_id: int) -> StoreBuffer:
+        """Store buffer of one hardware thread."""
+        return self.store_buffers[thread_id]

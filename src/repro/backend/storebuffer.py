@@ -1,0 +1,77 @@
+"""Speculative store buffer with byte-granular forwarding.
+
+Stores executed along a speculative path must not reach memory until
+the path is known-correct; loads must still observe them (store-to-load
+forwarding).  A squash truncates the buffer at the checkpoint's
+sequence number, which is how transiently "written" state vanishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.memory.mainmem import MainMemory
+
+
+@dataclass
+class _Entry:
+    seq: int
+    addr: int
+    size: int
+    value: int
+
+
+class StoreBuffer:
+    """Ordered pending stores for one hardware thread."""
+
+    def __init__(self) -> None:
+        self._entries: List[_Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def write(self, seq: int, addr: int, value: int, size: int = 8) -> None:
+        """Buffer a store by the micro-op with sequence number ``seq``."""
+        self._entries.append(_Entry(seq, addr, size, value))
+
+    def read(self, addr: int, size: int, memory: MainMemory) -> int:
+        """Load ``size`` bytes at ``addr``, forwarding buffered bytes.
+
+        Memory provides the base value; buffered stores overlay it in
+        program order (oldest first), so the youngest store to each
+        byte wins -- exactly store-to-load forwarding semantics.
+        """
+        data = list(memory.read_bytes(addr, size))
+        for entry in self._entries:
+            lo = max(addr, entry.addr)
+            hi = min(addr + size, entry.addr + entry.size)
+            for byte_addr in range(lo, hi):
+                shift = 8 * (byte_addr - entry.addr)
+                data[byte_addr - addr] = (entry.value >> shift) & 0xFF
+        value = 0
+        for i, b in enumerate(data):
+            value |= b << (8 * i)
+        return value
+
+    def truncate(self, seq: int) -> int:
+        """Discard entries younger than ``seq`` (squash); returns count."""
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if e.seq <= seq]
+        return before - len(self._entries)
+
+    def drain_upto(self, seq: int, memory: MainMemory) -> None:
+        """Commit entries with sequence <= ``seq`` to memory."""
+        remaining: List[_Entry] = []
+        for entry in self._entries:
+            if entry.seq <= seq:
+                memory.write(entry.addr, entry.value, entry.size)
+            else:
+                remaining.append(entry)
+        self._entries = remaining
+
+    def drain_all(self, memory: MainMemory) -> None:
+        """Commit everything (end of a non-speculative run)."""
+        for entry in self._entries:
+            memory.write(entry.addr, entry.value, entry.size)
+        self._entries.clear()

@@ -1,0 +1,13 @@
+"""Error-correction coding substrate.
+
+Table I of the paper reports covert-channel bandwidth both raw and
+with Reed-Solomon error correction ("inflates file size by roughly
+20%, providing ... no errors").  This package implements RS(n, k) over
+GF(256) from scratch: encoder, syndrome computation, Berlekamp-Massey,
+Chien search and Forney's algorithm.
+"""
+
+from repro.coding.gf256 import GF256
+from repro.coding.reed_solomon import RSCodec, RSDecodeError
+
+__all__ = ["GF256", "RSCodec", "RSDecodeError"]

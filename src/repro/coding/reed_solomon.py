@@ -1,0 +1,173 @@
+"""Systematic Reed-Solomon codec over GF(256).
+
+``RSCodec(nsym)`` appends ``nsym`` parity bytes per block and corrects
+up to ``nsym // 2`` byte errors at unknown positions -- the decoder
+implements syndromes, Berlekamp-Massey, Chien search and Forney.
+
+The covert channels use it exactly as the paper does: the sender
+encodes the payload (roughly 20% inflation at the paper's operating
+point), the receiver decodes and the residual error rate drops to zero
+for raw channel error rates within the code's correction budget.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.coding.gf256 import GF256
+
+
+class RSDecodeError(Exception):
+    """Raised when a block has more errors than the code can correct."""
+
+
+class RSCodec:
+    """Systematic RS(n, k) over GF(256) with n = k + nsym <= 255."""
+
+    def __init__(self, nsym: int = 32, block: int = 255):
+        if not 0 < nsym < block <= 255:
+            raise ValueError("need 0 < nsym < block <= 255")
+        self.nsym = nsym
+        self.block = block
+        self.gf = GF256()
+        self._gen = self._generator_poly(nsym)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def payload_per_block(self) -> int:
+        """Data bytes carried per code block."""
+        return self.block - self.nsym
+
+    @property
+    def overhead(self) -> float:
+        """Size inflation factor (encoded / raw)."""
+        return self.block / self.payload_per_block
+
+    def _generator_poly(self, nsym: int) -> List[int]:
+        gen = [1]
+        for i in range(nsym):
+            gen = self.gf.poly_mul(gen, [1, self.gf.pow(2, i)])
+        return gen
+
+    # ------------------------------------------------------------------
+    # encode
+
+    def encode_block(self, data: Sequence[int]) -> List[int]:
+        """Encode one block of at most ``payload_per_block`` bytes."""
+        if len(data) > self.payload_per_block:
+            raise ValueError("block payload too large")
+        msg = list(data) + [0] * self.nsym
+        for i in range(len(data)):
+            coef = msg[i]
+            if coef:
+                for j in range(1, len(self._gen)):
+                    msg[i + j] ^= self.gf.mul(self._gen[j], coef)
+        return list(data) + msg[len(data):]
+
+    def encode(self, data: bytes) -> bytes:
+        """Encode arbitrary-length data as consecutive blocks."""
+        out = bytearray()
+        k = self.payload_per_block
+        for off in range(0, len(data), k):
+            out.extend(self.encode_block(data[off:off + k]))
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # decode
+
+    def _syndromes(self, msg: Sequence[int]) -> List[int]:
+        return [self.gf.poly_eval(list(msg), self.gf.pow(2, i))
+                for i in range(self.nsym)]
+
+    def _berlekamp_massey(self, synd: List[int]) -> List[int]:
+        gf = self.gf
+        err_loc = [1]
+        old_loc = [1]
+        for i in range(len(synd)):
+            old_loc.append(0)
+            delta = synd[i]
+            for j in range(1, len(err_loc)):
+                delta ^= gf.mul(err_loc[-(j + 1)], synd[i - j])
+            if delta != 0:
+                if len(old_loc) > len(err_loc):
+                    new_loc = gf.poly_scale(old_loc, delta)
+                    old_loc = gf.poly_scale(err_loc, gf.inverse(delta))
+                    err_loc = new_loc
+                err_loc = gf.poly_add(err_loc, gf.poly_scale(old_loc, delta))
+        while err_loc and err_loc[0] == 0:
+            err_loc.pop(0)
+        return err_loc
+
+    def _find_errors(self, err_loc: List[int], nmess: int) -> List[int]:
+        gf = self.gf
+        errs = len(err_loc) - 1
+        positions = []
+        for i in range(nmess):
+            if gf.poly_eval(err_loc, gf.pow(2, i)) == 0:
+                positions.append(nmess - 1 - i)
+        if len(positions) != errs:
+            raise RSDecodeError(
+                f"located {len(positions)} errors, expected {errs}"
+            )
+        return positions
+
+    def _correct(
+        self, msg: List[int], synd: List[int], positions: List[int]
+    ) -> List[int]:
+        """Forney's algorithm: compute and apply error magnitudes."""
+        gf = self.gf
+        nmess = len(msg)
+        coef_pos = [nmess - 1 - p for p in positions]
+        # Error locator Lambda(x) = prod_i (1 + X_i x), X_i = 2^p_i.
+        # Coefficient lists are highest-degree-first.
+        loc = [1]
+        for p in coef_pos:
+            loc = gf.poly_mul(loc, [gf.pow(2, p), 1])
+        # Error evaluator Omega(x) = S(x) * Lambda(x) mod x^nsym, where
+        # S(x) = synd[0] + synd[1] x + ...  (so highest-first is the
+        # reversed syndrome list).
+        omega = gf.poly_mul(list(reversed(synd)), loc)
+        omega = omega[-self.nsym:]
+        for i, p in enumerate(coef_pos):
+            x = gf.pow(2, p)
+            x_inv = gf.inverse(x)
+            # Lambda'(X_i^{-1}) = X_i * prod_{j != i} (1 + X_j X_i^{-1});
+            # the leading X_i cancels against the X_i^{1-fcr} numerator
+            # factor (fcr = 0 here), leaving only the product below.
+            denom = 1
+            for j, q in enumerate(coef_pos):
+                if j != i:
+                    denom = gf.mul(denom, 1 ^ gf.mul(x_inv, gf.pow(2, q)))
+            if denom == 0:
+                raise RSDecodeError("Forney denominator is zero")
+            magnitude = gf.div(gf.poly_eval(omega, x_inv), denom)
+            msg[positions[i]] ^= magnitude
+        return msg
+
+    def decode_block(self, received: Sequence[int]) -> List[int]:
+        """Decode one block; returns the corrected payload bytes."""
+        msg = list(received)
+        synd = self._syndromes(msg)
+        if max(synd) == 0:
+            return msg[: -self.nsym]
+        err_loc = self._berlekamp_massey(synd)
+        errs = len(err_loc) - 1
+        if errs * 2 > self.nsym:
+            raise RSDecodeError(f"{errs} errors exceed correction capacity")
+        positions = self._find_errors(list(reversed(err_loc)), len(msg))
+        msg = self._correct(msg, synd, positions)
+        if max(self._syndromes(msg)) != 0:
+            raise RSDecodeError("residual syndromes after correction")
+        return msg[: -self.nsym]
+
+    def decode(self, received: bytes) -> bytes:
+        """Decode consecutive blocks produced by :meth:`encode`."""
+        if len(received) % self.block and len(received) > self.block:
+            # trailing short block is allowed only as the final block
+            pass
+        out = bytearray()
+        for off in range(0, len(received), self.block):
+            chunk = list(received[off:off + self.block])
+            out.extend(self.decode_block(chunk))
+        return bytes(out)

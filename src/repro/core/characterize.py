@@ -1,0 +1,292 @@
+"""Micro-op cache characterization experiments (Section III).
+
+Each ``measure_*`` function reproduces one figure of the paper and
+returns a small result dataclass with the same x/y series the figure
+plots.  All of them measure *steady state*: the workload runs once to
+warm the structures, then again for the measurement, mirroring the
+paper's large fixed sample counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cpu.config import CPUConfig
+from repro.cpu.core import Core
+from repro.core import microbench
+
+
+@dataclass
+class SeriesResult:
+    """One x/y series (Figures 3a, 3b)."""
+
+    x: List[int]
+    y: List[float]
+    x_label: str
+    y_label: str
+
+    def knee(self, factor: float = 4.0) -> Optional[int]:
+        """First x where y jumps by ``factor`` over the running floor.
+
+        A crude but robust knee detector used by tests to locate the
+        256-line / 8-way capacity cliffs.
+        """
+        floor = max(1.0, min(self.y) if self.y else 1.0)
+        for xi, yi in zip(self.x, self.y):
+            if yi > floor * factor and yi > 4.0:
+                return xi
+        return None
+
+
+@dataclass
+class PlacementResult:
+    """Figure 4: micro-ops streamed from the DSB per iteration, as a
+    function of region micro-op count, for several region counts."""
+
+    regions: List[int]
+    uops_per_region: List[int]
+    dsb_uops: Dict[int, List[float]]  # regions -> series over uop counts
+
+
+@dataclass
+class ReplacementResult:
+    """Figure 5: the main-loop-vs-evicting-loop iteration matrix."""
+
+    main_iters: List[int]
+    evict_iters: List[int]
+    matrix: List[List[float]]  # [main][evict] = DSB uops per main pass
+
+    def cell(self, main: int, evict: int) -> float:
+        """Matrix value for (main iterations, evict iterations)."""
+        return self.matrix[self.main_iters.index(main)][
+            self.evict_iters.index(evict)
+        ]
+
+
+@dataclass
+class SMTPartitionResult:
+    """Figure 6: T1's legacy-decode micro-ops vs loop size, single
+    thread versus SMT with a co-runner."""
+
+    sizes: List[int]
+    single_thread: List[float]
+    smt: List[float]
+
+    def knee_single(self) -> Optional[int]:
+        """Capacity knee without a co-runner (expect ~256 regions)."""
+        return SeriesResult(self.sizes, self.single_thread, "", "").knee()
+
+    def knee_smt(self) -> Optional[int]:
+        """Capacity knee with a co-runner (expect ~128 regions)."""
+        return SeriesResult(self.sizes, self.smt, "", "").knee()
+
+
+@dataclass
+class PartitionGeometryResult:
+    """Figure 7: (a) T1 sweeping sets against T2 pinned to set 0;
+    (b) number of 8-way groups streamable in single-thread vs SMT."""
+
+    sweep_sets: List[int]
+    sweep_t1_mite: List[float]
+    sweep_t2_mite: List[float]
+    group_counts: List[int]
+    groups_single: List[float]
+    groups_smt: List[float]
+
+
+# ----------------------------------------------------------------------
+# Figure 3a -- size
+
+
+def measure_size(
+    config: Optional[CPUConfig] = None,
+    sizes: Sequence[int] = tuple(range(8, 385, 8)),
+    iters: int = 12,
+) -> SeriesResult:
+    """Sweep the Listing 1 loop size; the y-axis jumps once the loop
+    exceeds the cache's 256 lines."""
+    config = config or CPUConfig.skylake()
+    ys = []
+    for n in sizes:
+        core = Core(config, microbench.size_loop(n, iters))
+        core.call("main")  # warm
+        delta = core.call("main")
+        ys.append(delta.uops_legacy / iters)
+    return SeriesResult(
+        list(sizes), ys, "32-byte regions in loop", "legacy-decode uops/iter"
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3b -- associativity
+
+
+def measure_associativity(
+    config: Optional[CPUConfig] = None,
+    ways: Sequence[int] = tuple(range(1, 15)),
+    iters: int = 12,
+) -> SeriesResult:
+    """Sweep same-set regions (Listing 2); the y-axis rises past the
+    8-way associativity."""
+    config = config or CPUConfig.skylake()
+    ys = []
+    for n in ways:
+        core = Core(config, microbench.assoc_loop(n, iters))
+        core.call("main")
+        delta = core.call("main")
+        ys.append(delta.uops_legacy / iters)
+    return SeriesResult(
+        list(ways), ys, "same-set regions in loop", "legacy-decode uops/iter"
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4 -- placement rules
+
+
+def measure_placement(
+    config: Optional[CPUConfig] = None,
+    region_counts: Sequence[int] = (2, 4, 8),
+    uop_counts: Sequence[int] = tuple(range(1, 25)),
+    iters: int = 12,
+) -> PlacementResult:
+    """Sweep micro-ops per region for 2/4/8-region loops (Listing 3)."""
+    config = config or CPUConfig.skylake()
+    result = PlacementResult(
+        regions=list(region_counts),
+        uops_per_region=list(uop_counts),
+        dsb_uops={},
+    )
+    for nregions in region_counts:
+        series = []
+        for uops in uop_counts:
+            prog = microbench.placement_loop(nregions, uops - 1, iters)
+            core = Core(config, prog)
+            core.call("main")
+            delta = core.call("main")
+            series.append(delta.uops_dsb / iters)
+        result.dsb_uops[nregions] = series
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 5 -- replacement policy
+
+
+def measure_replacement(
+    config: Optional[CPUConfig] = None,
+    main_iters: Sequence[int] = tuple(range(1, 13)),
+    evict_iters: Sequence[int] = tuple(range(0, 13)),
+    rounds: int = 16,
+) -> ReplacementResult:
+    """Interleave the main and evicting loops (both 8 ways of set 0)
+    and measure the main loop's DSB delivery in steady state."""
+    config = config or CPUConfig.skylake()
+    prog = microbench.replacement_pair()
+    matrix: List[List[float]] = []
+    for m in main_iters:
+        row = []
+        for e in evict_iters:
+            core = Core(config, prog)
+            total = 0
+            measured = 0
+            for r in range(rounds):
+                for _ in range(m):
+                    delta = core.call("main_0")
+                    if r >= rounds // 2:
+                        total += delta.uops_dsb
+                        measured += 1
+                for _ in range(e):
+                    core.call("ev_0")
+            row.append(total / measured)
+        matrix.append(row)
+    return ReplacementResult(list(main_iters), list(evict_iters), matrix)
+
+
+# ----------------------------------------------------------------------
+# Figure 6 -- SMT partitioning
+
+
+def measure_smt_partitioning(
+    config: Optional[CPUConfig] = None,
+    sizes: Sequence[int] = tuple(range(16, 321, 16)),
+    iters: int = 12,
+    t2_kind: str = "pause",
+) -> SMTPartitionResult:
+    """T1 sweeps its loop size while T2 pauses or pointer-chases; under
+    Intel's static partitioning T1's capacity knee halves in SMT mode
+    regardless of what T2 executes."""
+    config = config or CPUConfig.skylake()
+    single, smt = [], []
+    for n in sizes:
+        prog = microbench.smt_pair(n, iters, t2_kind=t2_kind)
+        core = Core(config, prog)
+        core.call("t1")
+        delta = core.call("t1")
+        single.append(delta.uops_legacy / iters)
+
+        # steady state in SMT mode: difference between a long and a
+        # short run cancels the cold-start fills.
+        prog_long = microbench.smt_pair(n, iters * 2, t2_kind=t2_kind)
+        d1_long, _ = Core(config, prog_long).run_smt(("t1", "t2"))
+        d1_short, _ = Core(config, prog).run_smt(("t1", "t2"))
+        smt.append((d1_long.uops_legacy - d1_short.uops_legacy) / iters)
+    return SMTPartitionResult(list(sizes), single, smt)
+
+
+# ----------------------------------------------------------------------
+# Figure 7 -- partition geometry
+
+
+def measure_partition_geometry(
+    config: Optional[CPUConfig] = None,
+    sweep_sets: Sequence[int] = tuple(range(0, 32, 2)),
+    group_counts: Sequence[int] = (4, 8, 12, 16, 20, 24, 28, 32, 36),
+    iters: int = 10,
+) -> PartitionGeometryResult:
+    """(a) Move T1's 8-way group across sets while T2 hammers set 0:
+    with 16 private 8-way sets per thread, neither thread ever misses.
+    (b) Stream N consecutive 8-way groups: 32 fit single-threaded, 16
+    in SMT mode."""
+    config = config or CPUConfig.skylake()
+    sweep_t1, sweep_t2 = [], []
+    for s in sweep_sets:
+        prog = microbench.partition_probe_pair(t1_set=s, iters=iters)
+        prog_long = microbench.partition_probe_pair(t1_set=s, iters=iters * 2)
+        d1_long, d2_long = Core(config, prog_long).run_smt(("t1", "t2"))
+        d1_short, d2_short = Core(config, prog).run_smt(("t1", "t2"))
+        sweep_t1.append((d1_long.uops_legacy - d1_short.uops_legacy) / iters)
+        sweep_t2.append((d2_long.uops_legacy - d2_short.uops_legacy) / iters)
+
+    groups_single, groups_smt = [], []
+    for n in group_counts:
+        prog = microbench.eight_block_regions(n, iters)
+        core = Core(config, prog)
+        core.call("main")
+        delta = core.call("main")
+        groups_single.append(delta.uops_legacy / iters)
+
+        asm_prog = _dual_groups(n, iters)
+        long_prog = _dual_groups(n, iters * 2)
+        d1_long, _ = Core(config, long_prog).run_smt(("t1", "t2"))
+        d1_short, _ = Core(config, asm_prog).run_smt(("t1", "t2"))
+        groups_smt.append((d1_long.uops_legacy - d1_short.uops_legacy) / iters)
+    return PartitionGeometryResult(
+        list(sweep_sets), sweep_t1, sweep_t2,
+        list(group_counts), groups_single, groups_smt,
+    )
+
+
+def _dual_groups(n_groups: int, iters: int):
+    """Both threads streaming ``n_groups`` 8-way groups."""
+    from repro.isa.assembler import Assembler
+
+    asm = Assembler()
+    microbench.emit_eight_blocks(
+        asm, "t1", n_groups, iters, arena=0x40_1000
+    )
+    microbench.emit_eight_blocks(
+        asm, "t2", n_groups, iters, arena=0x50_1000, loop_reg="r2"
+    )
+    return asm.assemble(entry="t1")

@@ -1,0 +1,181 @@
+"""User/kernel cross-domain channel (Section V-A, "Leaking Information
+across Privilege Boundaries").
+
+The spy makes periodic system calls; the kernel routine makes a
+*secret-dependent* call to one of two internal routines whose code
+occupies either the tiger sets (secret bit 1) or the zebra sets
+(secret bit 0) of the micro-op cache.  Because the micro-op cache is
+not flushed at the privilege boundary, the spy infers the bit by
+timing its own user-space tiger afterwards.
+
+The "secret" lives in kernel memory; the harness writes it per bit to
+model whatever kernel state steers the secret-dependent call.  The
+Section VIII mitigations (flush at domain crossings, privilege-level
+partitioning) are exercised against exactly this channel by
+:mod:`repro.core.mitigations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.covert import (
+    ChannelParams,
+    ChannelReport,
+    _bits_to_bytes,
+    _bytes_to_bits,
+    read_elapsed,
+)
+from repro.core.exploitgen import FootprintSpec, emit_chain, emit_probe, striped_sets
+from repro.core.timing import ProbeTiming, TimingClassifier
+from repro.cpu.config import CPUConfig
+from repro.cpu.core import Core
+from repro.cpu.noise import NoiseModel
+from repro.isa import encodings as enc
+from repro.isa.assembler import Assembler
+
+SPY_ARENA = 0x44_0000
+KERNEL_BASE = 0xC0_0000
+KTIGER_ARENA = 0xC4_0000
+KZEBRA_ARENA = 0xC8_0000
+KERNEL_END = 0xD0_0000
+
+
+@dataclass
+class CrossDomainParams:
+    """Channel knobs; ``syscalls_per_sample`` is how many times the spy
+    triggers the kernel routine before each probe."""
+
+    nsets: int = 8
+    nways: int = 6
+    samples: int = 5
+    syscalls_per_sample: int = 3
+    prime_reps: int = 1
+    calibration_rounds: int = 8
+
+
+class CrossDomainChannel:
+    """Covert channel across the user/kernel privilege boundary."""
+
+    def __init__(
+        self,
+        params: Optional[CrossDomainParams] = None,
+        config: Optional[CPUConfig] = None,
+        noise: Optional[NoiseModel] = None,
+    ):
+        self.params = params or CrossDomainParams()
+        self.config = config or CPUConfig.skylake()
+        self.core = Core(self.config, self._build_program(), noise=noise)
+        self.total_cycles = 0
+        self.timing: Optional[ProbeTiming] = None
+        self.classifier: Optional[TimingClassifier] = None
+
+    # ------------------------------------------------------------------
+
+    def _build_program(self):
+        p = self.params
+        tiger_sets = striped_sets(p.nsets)
+        stride = 32 // p.nsets
+        zebra_sets = striped_sets(p.nsets, offset=max(1, stride // 2))
+        asm = Assembler()
+        asm.reserve("probe_result", 8)
+        asm.reserve("kernel_secret", 8)
+
+        # Spy: user-space probe over the tiger sets, plus a syscall stub.
+        emit_probe(
+            asm, "probe",
+            FootprintSpec(tiger_sets, p.nways, SPY_ARENA),
+            "probe_result",
+        )
+        asm.org(SPY_ARENA + 12 * 1024)
+        asm.label("invoke")
+        asm.emit(enc.syscall())
+        asm.emit(enc.halt())
+
+        # Kernel: dispatch on the secret, then run one of two internal
+        # routines with disjoint micro-op cache footprints.
+        asm.org(KERNEL_BASE + 31 * 32)
+        asm.label("kernel_entry")
+        asm.emit(enc.mov_imm("r12", asm.resolve("kernel_secret"), width=64))
+        asm.emit(enc.load("r11", "r12"))
+        asm.emit(enc.test_reg("r11", "r11"))
+        asm.emit(enc.jcc("nz", "k_routine_one"))
+        asm.emit(enc.jmp("k_routine_zero"))
+        emit_chain(
+            asm, "k_routine_one",
+            FootprintSpec(tiger_sets, p.nways, KTIGER_ARENA),
+            exit_kind="sysret",
+        )
+        emit_chain(
+            asm, "k_routine_zero",
+            FootprintSpec(zebra_sets, p.nways, KZEBRA_ARENA),
+            exit_kind="sysret",
+        )
+        prog = asm.assemble(entry="probe")
+        prog.kernel_ranges.append((KERNEL_BASE, KERNEL_END))
+        return prog
+
+    def _call(self, label: str) -> None:
+        self.core.call(label)
+        self.total_cycles += self.core.cycles()
+
+    def _probe_time(self) -> int:
+        self._call("probe")
+        return read_elapsed(self.core, self.core.addr_of("probe_result"))
+
+    def _send(self, bit: int) -> None:
+        """The kernel transmits by executing its secret-dependent path."""
+        self.core.write_mem(self.core.addr_of("kernel_secret"), bit)
+        for _ in range(self.params.syscalls_per_sample):
+            self._call("invoke")
+
+    # ------------------------------------------------------------------
+
+    def calibrate(self) -> ProbeTiming:
+        """Fit the hit/miss threshold with known secrets."""
+        hits, misses = [], []
+        for _ in range(self.params.calibration_rounds):
+            for _ in range(self.params.prime_reps):
+                self._call("probe")
+            self._send(0)
+            hits.append(self._probe_time())
+            for _ in range(self.params.prime_reps):
+                self._call("probe")
+            self._send(1)
+            misses.append(self._probe_time())
+        self.timing = ProbeTiming(hits, misses)
+        self.classifier = TimingClassifier.from_timing(self.timing)
+        return self.timing
+
+    def send_bits(self, bits: Sequence[int]) -> List[int]:
+        """Leak a bit string across the privilege boundary."""
+        if self.classifier is None:
+            self.calibrate()
+        received = []
+        for bit in bits:
+            samples = []
+            for _ in range(self.params.samples):
+                for _ in range(self.params.prime_reps):
+                    self._call("probe")
+                self._send(bit)
+                samples.append(self._probe_time())
+            received.append(self.classifier.vote(samples))
+        return received
+
+    def transmit(self, payload: bytes) -> ChannelReport:
+        """Send ``payload`` and report Table-I-style statistics."""
+        if self.classifier is None:
+            self.calibrate()
+        self.total_cycles = 0
+        sent = _bytes_to_bits(payload)
+        received = self.send_bits(sent)
+        errors = sum(1 for a, b in zip(sent, received) if a != b)
+        return ChannelReport(
+            bits_sent=len(sent),
+            bit_errors=errors,
+            total_cycles=self.total_cycles,
+            freq_ghz=self.config.freq_ghz,
+            payload_bytes=len(payload),
+            timing=self.timing,
+        )

@@ -1,0 +1,243 @@
+"""Characterization microbenchmark generators (Listings 1-3 and the
+SMT workloads of Section III).
+
+Every builder returns an assembled :class:`~repro.isa.program.Program`
+whose entry point runs the benchmark loop for a register-controlled
+iteration count and halts.  Loop iteration counts are baked in at build
+time (``mov r1, iters``), mirroring the papers' fixed 3000-sample
+loops; harnesses take counter deltas around calls instead of relying
+on a fixed warm-up.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa import encodings as enc
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+
+#: Default loop-counter register used by all generated benchmarks.
+LOOP_REG = "r1"
+
+
+def size_loop(n_regions: int, iters: int, base: int = 0x40_0000) -> Program:
+    """Listing 1: a loop of ``n_regions`` aligned 32-byte regions, each
+    ``nop15; nop15; nop2`` (three micro-ops, one cache line)."""
+    asm = Assembler(base=base)
+    asm.label("main")
+    asm.emit(enc.mov_imm(LOOP_REG, iters))
+    asm.align(32)
+    asm.label("top")
+    for _ in range(n_regions):
+        asm.align(32)
+        asm.emit(enc.nop(15), enc.nop(15), enc.nop(2))
+    asm.emit(enc.dec(LOOP_REG))
+    asm.emit(enc.jcc("nz", "top"))
+    asm.emit(enc.halt())
+    return asm.assemble(entry="main")
+
+
+def assoc_loop(n_ways: int, iters: int, base: int = 0x40_0000) -> Program:
+    """Listing 2: ``n_ways`` regions aligned 1024 bytes apart (all in
+    set 0), each containing a single unconditional jump to the next."""
+    asm = Assembler(base=base)
+    asm.label("main")
+    asm.emit(enc.mov_imm(LOOP_REG, iters))
+    asm.emit(enc.jmp("region_0"))
+    for i in range(n_ways):
+        asm.align(1024, pad=False)
+        asm.label(f"region_{i}")
+        target = f"region_{i + 1}" if i + 1 < n_ways else "exit"
+        asm.emit(enc.jmp(target))
+    asm.align(32, pad=False)
+    asm.label("exit")
+    asm.emit(enc.dec(LOOP_REG))
+    asm.emit(enc.jcc("nz", "region_0"))
+    asm.emit(enc.halt())
+    return asm.assemble(entry="main")
+
+
+def placement_loop(
+    n_regions: int, nops_per_region: int, iters: int, base: int = 0x40_0000
+) -> Program:
+    """Listing 3: regions of ``nops_per_region`` one-byte NOPs plus a
+    jump, aligned 1024 bytes apart; micro-ops per region is therefore
+    ``nops_per_region + 1`` (0..27 one-byte NOPs fit before the jump)."""
+    if nops_per_region + 5 > 32:
+        raise ValueError("region body exceeds 32 bytes")
+    asm = Assembler(base=base)
+    asm.label("main")
+    asm.emit(enc.mov_imm(LOOP_REG, iters))
+    asm.emit(enc.jmp("region_0"))
+    for i in range(n_regions):
+        asm.align(1024, pad=False)
+        asm.label(f"region_{i}")
+        for _ in range(nops_per_region):
+            asm.emit(enc.nop(1))
+        target = f"region_{i + 1}" if i + 1 < n_regions else "exit"
+        asm.emit(enc.jmp(target))
+    asm.align(32, pad=False)
+    asm.label("exit")
+    asm.emit(enc.dec(LOOP_REG))
+    asm.emit(enc.jcc("nz", "region_0"))
+    asm.emit(enc.halt())
+    return asm.assemble(entry="main")
+
+
+def replacement_pair(base: int = 0x40_0000) -> Program:
+    """Figure 5 workload: two independent 8-way loops ("main" and
+    "evict"), each jumping through eight full 6-micro-op lines of set
+    0.  Entries: ``main_0`` and ``ev_0``; each pass runs once and
+    halts, so the harness interleaves passes freely."""
+    asm = Assembler(base=base)
+
+    def loop(prefix: str) -> None:
+        for i in range(8):
+            asm.align(1024, pad=False)
+            asm.label(f"{prefix}_{i}")
+            for _ in range(5):
+                asm.emit(enc.nop(1))
+            target = f"{prefix}_{i + 1}" if i < 7 else f"{prefix}_exit"
+            asm.emit(enc.jmp(target))
+        asm.align(32, pad=False)
+        asm.label(f"{prefix}_exit")
+        asm.emit(enc.halt())
+
+    loop("main")
+    asm.align(32768, pad=False)
+    loop("ev")
+    return asm.assemble(entry="main_0")
+
+
+def smt_pair(
+    n_regions: int,
+    iters: int,
+    t2_kind: str = "pause",
+    t2_iters: int = 2000,
+    base: int = 0x40_0000,
+) -> Program:
+    """Figure 6 workload: T1 runs a Listing-1-style region loop; T2
+    runs either a PAUSE loop or a pointer-chasing loop that misses in
+    the data cache.  Entries: ``t1`` and ``t2``."""
+    asm = Assembler(base=base)
+    asm.label("t1")
+    asm.emit(enc.mov_imm(LOOP_REG, iters))
+    asm.align(32)
+    asm.label("t1_top")
+    for _ in range(n_regions):
+        asm.align(32)
+        asm.emit(enc.nop(15), enc.nop(15), enc.nop(2))
+    asm.emit(enc.dec(LOOP_REG))
+    asm.emit(enc.jcc("nz", "t1_top"))
+    asm.emit(enc.halt())
+
+    asm.align(4096)
+    asm.label("t2")
+    asm.emit(enc.mov_imm("r2", t2_iters))
+    if t2_kind == "pause":
+        asm.label("t2_top")
+        asm.emit(enc.pause())
+        asm.emit(enc.dec("r2"))
+        asm.emit(enc.jcc("nz", "t2_top"))
+        asm.emit(enc.halt())
+    elif t2_kind == "chase":
+        # Pointer chase through a sparse chain: r3 = *r3 repeatedly.
+        chain_len = 512
+        stride = 4096  # one page apart: misses all the way down
+        chain_base = asm.reserve("t2_chain", chain_len * stride, align=4096)
+        chain = bytearray()
+        for i in range(chain_len):
+            nxt = chain_base + ((i + 1) % chain_len) * stride
+            entry = nxt.to_bytes(8, "little") + bytes(stride - 8)
+            chain.extend(entry)
+        asm.patch_data("t2_chain", bytes(chain))
+        asm.emit(enc.mov_imm("r3", asm.resolve("t2_chain"), width=64))
+        asm.label("t2_top")
+        asm.emit(enc.load("r3", "r3"))
+        asm.emit(enc.dec("r2"))
+        asm.emit(enc.jcc("nz", "t2_top"))
+        asm.emit(enc.halt())
+    else:
+        raise ValueError(f"unknown t2 workload {t2_kind!r}")
+    return asm.assemble(entry="t1")
+
+
+def emit_eight_blocks(
+    asm: Assembler,
+    entry_name: str,
+    n_groups: int,
+    iters: int,
+    first_set: int = 0,
+    arena: int = 0x40_1000,
+    loop_reg: str = LOOP_REG,
+) -> None:
+    """Emit a Figure-7-style loop into an existing assembler.
+
+    ``n_groups`` groups of eight 32-byte blocks; group g's blocks all
+    map to set ``first_set + g`` and fill its eight ways.  The loop at
+    label ``entry_name`` jumps through every block, ``iters`` times.
+    """
+    blocks = []
+    for g in range(n_groups):
+        # Past 32 groups the set indices wrap; keep the addresses
+        # distinct by moving to the next 32 KiB "bank", as a contiguous
+        # code layout naturally would.
+        bank = (g // 32) * (32 * 1024)
+        for w in range(8):
+            blocks.append(
+                arena + bank + w * 1024 + ((first_set + g) % 32) * 32
+            )
+    blocks.sort()
+    exit_addr = arena + 9 * 1024 + ((first_set + 31) % 32) * 32
+    asm.org(arena + 8 * 1024 + ((first_set + 31) % 32) * 32)
+    asm.label(entry_name)
+    asm.emit(enc.mov_imm(loop_reg, iters))
+    asm.emit(enc.jmp(f"{entry_name}_b0"))
+    for i, addr in enumerate(blocks):
+        asm.org(addr)
+        asm.label(f"{entry_name}_b{i}")
+        for _ in range(5):
+            asm.emit(enc.nop(1))
+        target = (
+            f"{entry_name}_b{i + 1}" if i + 1 < len(blocks) else f"{entry_name}_x"
+        )
+        asm.emit(enc.jmp(target))
+    asm.org(exit_addr)
+    asm.label(f"{entry_name}_x")
+    asm.emit(enc.dec(loop_reg))
+    asm.emit(enc.jcc("nz", f"{entry_name}_b0"))
+    asm.emit(enc.halt())
+
+
+def eight_block_regions(
+    n_groups: int,
+    iters: int,
+    first_set: int = 0,
+    base: int = 0x40_0000,
+    entry_name: str = "main",
+) -> Program:
+    """Standalone Figure 7 workload (see :func:`emit_eight_blocks`)."""
+    asm = Assembler(base=base)
+    emit_eight_blocks(
+        asm, entry_name, n_groups, iters, first_set, arena=base + 0x1000
+    )
+    return asm.assemble(entry=entry_name)
+
+
+def partition_probe_pair(
+    t1_set: int,
+    t2_set: int = 0,
+    iters: int = 8,
+    base: int = 0x40_0000,
+) -> Program:
+    """Figure 7a workload: T1 fills the eight ways of ``t1_set`` while
+    T2 fills the eight ways of ``t2_set``, concurrently.  Entries:
+    ``t1`` and ``t2`` (T2 uses loop register r2)."""
+    asm = Assembler(base=base)
+    emit_eight_blocks(asm, "t1", 1, iters, first_set=t1_set, arena=base + 0x1000)
+    emit_eight_blocks(
+        asm, "t2", 1, iters, first_set=t2_set, arena=base + 0x10_0000,
+        loop_reg="r2",
+    )
+    return asm.assemble(entry="t1")

@@ -1,0 +1,194 @@
+"""Mitigations (Section VIII) and their evaluation.
+
+Three countermeasures the paper discusses are implemented and
+evaluated against the attacks they target:
+
+- **Flushing at domain crossings** (`flush_uop_cache_on_domain_crossing`):
+  SYSCALL/SYSRET flush the micro-op cache (the iTLB-flush mechanism).
+  Closes the user/kernel channel; costs decode bandwidth.
+- **Privilege-level partitioning** (`privilege_partition_uop_cache`):
+  user and kernel code index disjoint halves.  Also closes the
+  user/kernel channel -- but, as the paper notes, does *not* stop
+  variant-1, whose priming and probing both run in user space.
+- **Performance-counter monitoring**: a sliding-window anomaly
+  detector over the DSB miss rate, with the false-positive liability
+  the paper warns about.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.crossdomain import CrossDomainChannel, CrossDomainParams
+from repro.core.transient import UopCacheSpectreV1
+from repro.cpu.config import CPUConfig
+from repro.cpu.counters import PerfCounters
+
+
+@dataclass
+class MitigationOutcome:
+    """Channel quality and cost under one configuration."""
+
+    name: str
+    signal_delta: float
+    error_rate: float
+    kernel_cycles: int  # cost proxy: cycles to run the kernel workload
+
+    @property
+    def channel_closed(self) -> bool:
+        """True when the receiver can no longer separate the bits."""
+        return self.error_rate >= 0.25  # indistinguishable from guessing
+
+
+def _evaluate_crossdomain(
+    name: str, config: CPUConfig, payload: bytes = b"\xaa\x55"
+) -> MitigationOutcome:
+    chan = CrossDomainChannel(config=config)
+    timing = chan.calibrate()
+    report = chan.transmit(payload)
+    return MitigationOutcome(
+        name=name,
+        signal_delta=timing.delta,
+        error_rate=report.error_rate,
+        kernel_cycles=report.total_cycles,
+    )
+
+
+def evaluate_crossdomain_mitigations(
+    payload: bytes = b"\xaa\x55",
+) -> List[MitigationOutcome]:
+    """Run the user/kernel channel against: no mitigation, flush at
+    crossings, and privilege partitioning."""
+    return [
+        _evaluate_crossdomain("baseline", CPUConfig.skylake(), payload),
+        _evaluate_crossdomain(
+            "flush-on-crossing",
+            CPUConfig.skylake(flush_uop_cache_on_domain_crossing=True),
+            payload,
+        ),
+        _evaluate_crossdomain(
+            "privilege-partition",
+            CPUConfig.skylake(privilege_partition_uop_cache=True),
+            payload,
+        ),
+    ]
+
+
+def variant1_under_partitioning(secret: bytes = b"\x5a") -> Tuple[float, float]:
+    """The paper's caveat: privilege partitioning does NOT stop
+    variant-1 (priming and probing both happen in user mode).
+
+    Returns (byte_accuracy_baseline, byte_accuracy_partitioned).
+    """
+    base = UopCacheSpectreV1(secret=secret)
+    acc_base = base.leak().byte_accuracy
+    part = UopCacheSpectreV1(
+        secret=secret,
+        config=CPUConfig.skylake(privilege_partition_uop_cache=True),
+    )
+    acc_part = part.leak().byte_accuracy
+    return acc_base, acc_part
+
+
+# ----------------------------------------------------------------------
+# Performance-counter monitoring
+
+
+@dataclass
+class DetectionReport:
+    """Sliding-window DSB-miss-rate anomaly detection results."""
+
+    threshold: float
+    attack_windows_flagged: int
+    attack_windows_total: int
+    benign_windows_flagged: int
+    benign_windows_total: int
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of attack windows flagged."""
+        if not self.attack_windows_total:
+            return 0.0
+        return self.attack_windows_flagged / self.attack_windows_total
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of benign windows flagged (the mimicry liability)."""
+        if not self.benign_windows_total:
+            return 0.0
+        return self.benign_windows_flagged / self.benign_windows_total
+
+
+def collect_benign_windows(
+    names: Optional[Sequence[str]] = None,
+    rounds: int = 3,
+) -> List[int]:
+    """DSB-miss counts per benign observation window.
+
+    Each window is one run of one workload from
+    :mod:`repro.workloads` -- giving the monitor a baseline with
+    honest cross-workload variance rather than synthetic numbers.
+    """
+    from repro.workloads import WORKLOADS, run_workload
+
+    windows = []
+    for name in (names or sorted(WORKLOADS)):
+        for _ in range(rounds):
+            result = run_workload(name)
+            windows.append(result.counters.dsb_misses)
+    return windows
+
+
+def collect_attack_windows(bits: int = 16) -> List[int]:
+    """DSB-miss counts per attack window (one covert-channel bit)."""
+    from repro.core.covert import ChannelParams, CovertChannel
+
+    chan = CovertChannel(ChannelParams(samples=1, calibration_rounds=2))
+    chan.calibrate()
+    windows = []
+    for i in range(bits):
+        before = chan.core.counters().snapshot()
+        chan.send_bits([i & 1])
+        windows.append(chan.core.counters().delta(before).dsb_misses)
+    return windows
+
+
+class UopCacheMonitor:
+    """Counts DSB misses per observation window and flags windows whose
+    miss count exceeds a threshold learned from a benign baseline."""
+
+    def __init__(self, sigma: float = 3.0):
+        self.sigma = sigma
+        self.threshold: Optional[float] = None
+
+    def train(self, benign_windows: Sequence[int]) -> float:
+        """Fit the threshold as mean + sigma * stdev of benign windows."""
+        mean = statistics.fmean(benign_windows)
+        sd = statistics.stdev(benign_windows) if len(benign_windows) > 1 else 0.0
+        self.threshold = mean + self.sigma * sd
+        return self.threshold
+
+    def flag(self, window: int) -> bool:
+        """True if this window's DSB miss count looks anomalous."""
+        if self.threshold is None:
+            raise RuntimeError("train() the monitor first")
+        return window > self.threshold
+
+    def evaluate(
+        self,
+        benign_windows: Sequence[int],
+        attack_windows: Sequence[int],
+    ) -> DetectionReport:
+        """Train on half the benign trace, evaluate on the rest."""
+        split = max(2, len(benign_windows) // 2)
+        self.train(benign_windows[:split])
+        held_out = benign_windows[split:]
+        return DetectionReport(
+            threshold=self.threshold,
+            attack_windows_flagged=sum(1 for w in attack_windows if self.flag(w)),
+            attack_windows_total=len(attack_windows),
+            benign_windows_flagged=sum(1 for w in held_out if self.flag(w)),
+            benign_windows_total=len(held_out),
+        )

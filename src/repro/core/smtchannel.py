@@ -1,0 +1,177 @@
+"""Cross-SMT-thread covert channel (Section V-B).
+
+Intel's micro-op cache is statically partitioned between SMT threads,
+so no cross-thread signal exists there (the paper's Figure 6/7 finding,
+and our negative control).  AMD Zen shares it competitively: micro-ops
+of one thread evict the other's.  The Trojan thread transmits a
+one-bit by executing a large tiger loop that contends for the probed
+sets, and a zero-bit by idling in a PAUSE loop; the spy thread
+continuously times its own tiger and watches its latency rise.
+
+Each bit is one concurrent SMT episode: the spy runs a fixed number of
+timed probe passes while the Trojan runs its per-bit workload on the
+sibling thread.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.covert import ChannelReport, _bytes_to_bits, read_elapsed
+from repro.core.exploitgen import (
+    FootprintSpec,
+    _emit_regions,
+    neutral_set,
+    striped_sets,
+)
+from repro.core.timing import ProbeTiming, TimingClassifier
+from repro.cpu.config import CPUConfig
+from repro.cpu.core import Core
+from repro.cpu.noise import NoiseModel
+from repro.isa import encodings as enc
+from repro.isa.assembler import Assembler
+
+RX_ARENA = 0x44_0000
+TX_ARENA = 0x50_0000
+
+
+@dataclass
+class SMTChannelParams:
+    """Episode sizing for the SMT channel."""
+
+    nsets: int = 16
+    nways: int = 6
+    probe_passes: int = 6  # timed receiver passes per bit episode
+    sender_loops: int = 24  # tiger passes the Trojan runs per one-bit
+    calibration_rounds: int = 6
+
+
+class SMTChannel:
+    """Micro-op cache covert channel between two SMT threads.
+
+    Defaults to :meth:`CPUConfig.zen` (competitively shared cache);
+    instantiate with a Skylake config to demonstrate that static
+    partitioning closes the channel.
+    """
+
+    def __init__(
+        self,
+        params: Optional[SMTChannelParams] = None,
+        config: Optional[CPUConfig] = None,
+        noise: Optional[NoiseModel] = None,
+    ):
+        self.params = params or SMTChannelParams()
+        self.config = config or CPUConfig.zen()
+        self.core = Core(self.config, self._build_program(), noise=noise)
+        self.total_cycles = 0
+        self.timing: Optional[ProbeTiming] = None
+        self.classifier: Optional[TimingClassifier] = None
+
+    # ------------------------------------------------------------------
+
+    def _build_program(self):
+        p = self.params
+        sets = striped_sets(p.nsets)
+        asm = Assembler()
+        asm.reserve("rx_results", 8 * (p.probe_passes + 1))
+
+        # Receiver: an epoch of timed probe passes, one timing per pass.
+        rx_spec = FootprintSpec(sets, p.nways, RX_ARENA)
+        scratch = neutral_set(rx_spec)
+        prolog = RX_ARENA + 9 * rx_spec.way_stride + scratch * 32
+        asm.org(prolog)
+        asm.label("rx_epoch")
+        asm.emit(enc.mov_imm("r12", p.probe_passes))
+        asm.emit(enc.mov_imm("r11", asm.resolve("rx_results"), width=64))
+        asm.label("rx_loop")
+        asm.emit(enc.rdtsc("r14"))
+        asm.emit(enc.jmp("rx_r0"))
+        _emit_regions(asm, "rx", rx_spec, "rx_end")
+        asm.org(prolog + rx_spec.way_stride)
+        asm.label("rx_end")
+        asm.emit(enc.rdtsc("r15"))
+        asm.emit(enc.alu("sub", "r15", "r14"))
+        asm.emit(enc.store("r15", "r11"))
+        asm.emit(enc.alu_imm("add", "r11", 8))
+        asm.emit(enc.dec("r12"))
+        asm.emit(enc.jcc("nz", "rx_loop"))
+        asm.emit(enc.halt())
+
+        # Trojan one-bit: a looped tiger over the same sets.
+        tx_spec = FootprintSpec(sets, p.nways, TX_ARENA)
+        tx_prolog = TX_ARENA + 9 * tx_spec.way_stride + neutral_set(tx_spec) * 32
+        asm.org(tx_prolog)
+        asm.label("tx_one")
+        asm.emit(enc.mov_imm("r2", p.sender_loops))
+        asm.label("tx_loop")
+        asm.emit(enc.jmp("tx_r0"))
+        _emit_regions(asm, "tx", tx_spec, "tx_end")
+        asm.org(tx_prolog + tx_spec.way_stride)
+        asm.label("tx_end")
+        asm.emit(enc.dec("r2"))
+        asm.emit(enc.jcc("nz", "tx_loop"))
+        asm.emit(enc.halt())
+
+        # Trojan zero-bit: PAUSE for a comparable duration, leaving no
+        # micro-op cache footprint (PAUSE is not cached).
+        asm.org(tx_prolog + 2 * tx_spec.way_stride)
+        asm.label("tx_zero")
+        asm.emit(enc.mov_imm("r2", p.sender_loops * 4))
+        asm.label("tx_idle")
+        asm.emit(enc.pause())
+        asm.emit(enc.dec("r2"))
+        asm.emit(enc.jcc("nz", "tx_idle"))
+        asm.emit(enc.halt())
+        return asm.assemble(entry="rx_epoch")
+
+    # ------------------------------------------------------------------
+
+    def _episode(self, bit: int) -> float:
+        """Run one concurrent bit episode; returns the receiver's mean
+        probe time (first pass dropped as warm-up)."""
+        label = "tx_one" if bit else "tx_zero"
+        self.core.run_smt(("rx_epoch", label))
+        self.total_cycles += max(self.core.cycles(0), self.core.cycles(1))
+        base = self.core.addr_of("rx_results")
+        times = [
+            read_elapsed(self.core, base + 8 * i)
+            for i in range(self.params.probe_passes)
+        ]
+        return statistics.fmean(times[1:]) if len(times) > 1 else times[0]
+
+    def calibrate(self) -> ProbeTiming:
+        """Measure both episode kinds to fit the threshold."""
+        hits, misses = [], []
+        for _ in range(self.params.calibration_rounds):
+            hits.append(self._episode(0))
+            misses.append(self._episode(1))
+        self.timing = ProbeTiming(hits, misses)
+        self.classifier = TimingClassifier.from_timing(self.timing)
+        return self.timing
+
+    def send_bits(self, bits: Sequence[int]) -> List[int]:
+        """Transmit bits, one SMT episode each."""
+        if self.classifier is None:
+            self.calibrate()
+        return [
+            self.classifier.classify_bit(self._episode(bit)) for bit in bits
+        ]
+
+    def transmit(self, payload: bytes) -> ChannelReport:
+        """Send ``payload``; report Table-I-style statistics."""
+        if self.classifier is None:
+            self.calibrate()
+        self.total_cycles = 0
+        sent = _bytes_to_bits(payload)
+        received = self.send_bits(sent)
+        errors = sum(1 for a, b in zip(sent, received) if a != b)
+        return ChannelReport(
+            bits_sent=len(sent),
+            bit_errors=errors,
+            total_cycles=self.total_cycles,
+            freq_ghz=self.config.freq_ghz,
+            payload_bytes=len(payload),
+            timing=self.timing,
+        )

@@ -1,0 +1,87 @@
+"""RDTSC-based timing harness and hit/miss classification (Section IV).
+
+The attacks never read performance counters: they time a probe with
+RDTSC and classify the elapsed cycles as "micro-op cache hit" (fast)
+or "miss" (slow, the legacy decode path).  This module calibrates that
+classifier the way an attacker would -- by measuring the probe in both
+known states and splitting the distributions.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+
+@dataclass
+class ProbeTiming:
+    """Calibration summary of a probe's two timing distributions."""
+
+    hit_times: List[int]
+    miss_times: List[int]
+
+    @property
+    def hit_mean(self) -> float:
+        """Mean probe time when the footprint is resident."""
+        return statistics.fmean(self.hit_times)
+
+    @property
+    def miss_mean(self) -> float:
+        """Mean probe time after a conflicting eviction."""
+        return statistics.fmean(self.miss_times)
+
+    @property
+    def delta(self) -> float:
+        """Mean timing difference between the two states (the signal)."""
+        return self.miss_mean - self.hit_mean
+
+    @property
+    def delta_sd(self) -> float:
+        """Pooled standard deviation of the signal."""
+        parts = []
+        if len(self.hit_times) > 1:
+            parts.append(statistics.stdev(self.hit_times))
+        if len(self.miss_times) > 1:
+            parts.append(statistics.stdev(self.miss_times))
+        return max(parts) if parts else 0.0
+
+    @property
+    def threshold(self) -> float:
+        """Midpoint decision threshold."""
+        return (self.hit_mean + self.miss_mean) / 2.0
+
+    @property
+    def separable(self) -> bool:
+        """True when the two distributions do not overlap at all."""
+        return max(self.hit_times) < min(self.miss_times)
+
+
+class TimingClassifier:
+    """Binary hit/miss classifier over probe timings."""
+
+    def __init__(self, threshold: float):
+        self.threshold = threshold
+
+    @classmethod
+    def from_timing(cls, timing: ProbeTiming) -> "TimingClassifier":
+        """Build from a calibration run."""
+        return cls(timing.threshold)
+
+    def is_miss(self, elapsed: float) -> bool:
+        """True if the probe observed eviction (a transmitted one-bit)."""
+        return elapsed > self.threshold
+
+    def classify_bit(self, elapsed: float) -> int:
+        """1 when the conflicting (tiger) code ran, else 0."""
+        return 1 if self.is_miss(elapsed) else 0
+
+    def vote(self, samples: Sequence[float]) -> int:
+        """Majority vote over repeated samples of the same bit; ties
+        fall back to comparing the sample mean to the threshold."""
+        if not samples:
+            raise ValueError("no samples to vote over")
+        misses = sum(1 for s in samples if self.is_miss(s))
+        if misses * 2 == len(samples):
+            return 1 if statistics.fmean(samples) > self.threshold else 0
+        return 1 if misses * 2 > len(samples) else 0

@@ -1,0 +1,10 @@
+"""The simulated core: configuration, counters, thread contexts, and
+the execution loop tying front end, micro-op cache and backend together.
+"""
+
+from repro.cpu.config import CPUConfig
+from repro.cpu.counters import PerfCounters
+from repro.cpu.core import Core
+from repro.cpu.thread import ThreadContext
+
+__all__ = ["CPUConfig", "Core", "PerfCounters", "ThreadContext"]

@@ -1,0 +1,509 @@
+"""The simulated core: ties front end, micro-op cache, backend and
+threads together, and implements checkpointed speculative execution.
+
+Speculation model (see DESIGN.md): micro-ops execute functionally in
+fetch order along the *predicted* path.  When a control micro-op turns
+out mispredicted, a checkpoint of architectural state is taken (state
+at that instant *is* the at-branch state, since processing is in
+order) and a squash is scheduled for the branch's resolution cycle --
+the scoreboard-computed completion time.  Fetch keeps running down the
+wrong path until the fetch clock reaches that cycle, faithfully
+filling the micro-op cache, training predictors and touching data
+caches along the way; the squash then restores registers, truncates
+the store buffer, and resteers fetch.  Nested wrong-path mispredicts
+resolve in time order, which is exactly what the variant-1 attack's
+secret-dependent transient branch needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.backend.execute import Backend, ResolveInfo
+from repro.cpu.config import CPUConfig
+from repro.cpu.counters import PerfCounters
+from repro.cpu.noise import NoiseModel
+from repro.cpu.thread import KERNEL_PRIV, ThreadContext, USER_PRIV
+from repro.errors import SimFault
+from repro.frontend.pipeline import (
+    BLOCK_CPUID,
+    BLOCK_FAULT,
+    BLOCK_HALT,
+    BLOCK_SEQ,
+    BLOCK_STALL,
+    BLOCK_TAKEN,
+    FetchBlock,
+    FetchedUop,
+    FrontEnd,
+)
+from repro.isa.instruction import BranchKind, UopKind
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mainmem import MainMemory
+from repro.uopcache.cache import UopCache
+from repro.uopcache.policies import make_policy
+
+
+@dataclass
+class _Checkpoint:
+    """Architectural + scoreboard state at a mispredicted branch."""
+
+    seq: int
+    regs: Dict[str, int]
+    privilege: int
+    fetch_priv: int
+    kernel_link: List[int]
+    rsb: List[int]
+    reg_ready: Dict[str, int]
+    exec_floor: int
+    oldest_inflight_done: int
+    dispatch_cycle: int
+    dispatch_slots_used: int
+    last_source: str
+
+
+@dataclass
+class _PendingSquash:
+    """A discovered misprediction awaiting its resolution cycle."""
+
+    seq: int
+    resolve_cycle: int
+    correct_rip: int
+    checkpoint: _Checkpoint
+
+
+@dataclass
+class _SpecState:
+    """Per-thread speculation bookkeeping."""
+
+    seq: int = 0
+    pending: List[_PendingSquash] = field(default_factory=list)
+    head_seqs: List[int] = field(default_factory=list)  # macro heads in flight
+
+
+class Core:
+    """One physical core with up to two SMT hardware threads.
+
+    Typical use::
+
+        core = Core(CPUConfig.skylake(), program)
+        delta = core.call("main")        # run until HALT, measure
+        print(delta.uops_dsb, delta.uops_legacy)
+    """
+
+    MAX_BLOCKS = 20_000_000  # runaway-program guard
+
+    def __init__(
+        self,
+        config: CPUConfig,
+        program: Program,
+        noise: Optional[NoiseModel] = None,
+    ):
+        self.config = config
+        self.program = program
+        self.noise = noise
+
+        policy = make_policy(config.uop_cache_policy)
+        self.uop_cache = UopCache(
+            sets=config.uop_cache_sets,
+            ways=config.uop_cache_ways,
+            uops_per_line=config.uops_per_line,
+            max_lines_per_region=config.max_lines_per_region,
+            policy=policy,
+            sharing=config.uop_cache_sharing,
+            privilege_partition=config.privilege_partition_uop_cache,
+            region_bytes=config.region_bytes,
+        )
+        self.hierarchy = MemoryHierarchy(
+            l1_latency=config.l1_latency,
+            l2_latency=config.l2_latency,
+            llc_latency=config.llc_latency,
+            dram_latency=config.dram_latency,
+            on_l1i_evict=self._on_l1i_evict,
+            itlb_on_flush=self.uop_cache.flush,
+        )
+        self.memory = MainMemory()
+        for base, payload in program.data.items():
+            self.memory.load_image(base, payload)
+
+        self.frontend = FrontEnd(config, program, self.uop_cache, self.hierarchy)
+        self.backend = Backend(
+            config,
+            self.memory,
+            self.hierarchy,
+            rdtsc_jitter=noise.rdtsc_jitter if noise else None,
+        )
+        self.threads = (
+            ThreadContext(thread_id=0),
+            ThreadContext(thread_id=1),
+        )
+        self._spec = (_SpecState(), _SpecState())
+        #: Optional list collecting (cycle, entry, kind, source, n_uops)
+        #: per fetch block -- a debugging aid, None disables tracing.
+        self.trace: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    def _on_l1i_evict(self, line_base: int) -> None:
+        # Micro-op cache inclusion in the L1I (Section II-B).
+        self.uop_cache.invalidate_code_range(
+            line_base, line_base + self.hierarchy.l1i.line_size
+        )
+
+    # ------------------------------------------------------------------
+    # public conveniences
+
+    def thread(self, thread_id: int = 0) -> ThreadContext:
+        """Hardware-thread context."""
+        return self.threads[thread_id]
+
+    def counters(self, thread_id: int = 0) -> PerfCounters:
+        """Live counter block of a thread."""
+        return self.threads[thread_id].counters
+
+    def write_reg(self, name: str, value: int, thread_id: int = 0) -> None:
+        """Set an architectural register."""
+        self.threads[thread_id].regs[name] = value & ((1 << 64) - 1)
+
+    def read_reg(self, name: str, thread_id: int = 0) -> int:
+        """Read an architectural register."""
+        return self.threads[thread_id].regs[name]
+
+    def read_mem(self, addr: int, size: int = 8) -> int:
+        """Read committed memory (store buffers drain at halt)."""
+        return self.memory.read(addr, size)
+
+    def write_mem(self, addr: int, value: int, size: int = 8) -> None:
+        """Write memory directly (harness-side setup)."""
+        self.memory.write(addr, value, size)
+
+    def addr_of(self, label: str) -> int:
+        """Address of a program label."""
+        return self.program.addr_of(label)
+
+    def flush_uop_cache(self) -> None:
+        """Architecturally flush the micro-op cache (iTLB-flush path)."""
+        self.uop_cache.flush()
+
+    def cycles(self, thread_id: int = 0) -> int:
+        """Current cycle count of a thread (fetch/retire max)."""
+        t = self.threads[thread_id]
+        return max(t.fetch_clock, t.last_retire)
+
+    # ------------------------------------------------------------------
+    # running
+
+    def call(
+        self,
+        entry: Union[str, int],
+        thread_id: int = 0,
+        regs: Optional[Dict[str, int]] = None,
+        reset_clocks: bool = True,
+        max_blocks: Optional[int] = None,
+    ) -> PerfCounters:
+        """Run one thread from ``entry`` until HALT retires.
+
+        Microarchitectural state (caches, predictors, micro-op cache)
+        persists across calls -- phases of an attack are separate
+        calls.  Returns the counter delta for this call.
+        """
+        thread = self.threads[thread_id]
+        if isinstance(entry, str):
+            entry = self.program.addr_of(entry)
+        if regs:
+            for name, value in regs.items():
+                thread.regs[name] = value & ((1 << 64) - 1)
+        if reset_clocks:
+            thread.reset_pipeline_clocks()
+        thread.fetch_rip = entry
+        thread.fetch_priv = thread.privilege
+        thread.halted = False
+        before = thread.counters.snapshot()
+        limit = max_blocks if max_blocks is not None else self.MAX_BLOCKS
+        blocks = 0
+        while not thread.halted:
+            blocks += 1
+            if blocks > limit:
+                raise SimFault(
+                    f"thread {thread_id} exceeded {limit} fetch blocks "
+                    f"(runaway program?) at rip=0x{thread.fetch_rip:x}"
+                )
+            self._step(thread)
+        return thread.counters.delta(before)
+
+    def run_smt(
+        self,
+        entries: Tuple[Union[str, int], Union[str, int]],
+        regs: Tuple[Optional[Dict[str, int]], Optional[Dict[str, int]]] = (None, None),
+        reset_clocks: bool = True,
+        max_blocks: Optional[int] = None,
+    ) -> Tuple[PerfCounters, PerfCounters]:
+        """Run both hardware threads concurrently until both halt.
+
+        Fetch interleaves at block granularity, always advancing the
+        thread whose fetch clock is behind -- a fair round-robin
+        approximation of SMT front-end arbitration.  The micro-op
+        cache switches into SMT mode (repartitioning under the static
+        policy) for the duration.
+        """
+        resolved = []
+        for entry in entries:
+            resolved.append(
+                self.program.addr_of(entry) if isinstance(entry, str) else entry
+            )
+        self.uop_cache.set_smt_active(True)
+        self.frontend.smt_active = True
+        befores = []
+        for tid in (0, 1):
+            thread = self.threads[tid]
+            if regs[tid]:
+                for name, value in regs[tid].items():
+                    thread.regs[name] = value & ((1 << 64) - 1)
+            if reset_clocks:
+                thread.reset_pipeline_clocks()
+            thread.fetch_rip = resolved[tid]
+            thread.fetch_priv = thread.privilege
+            thread.halted = False
+            befores.append(thread.counters.snapshot())
+        limit = max_blocks if max_blocks is not None else self.MAX_BLOCKS
+        blocks = 0
+        while not (self.threads[0].halted and self.threads[1].halted):
+            blocks += 1
+            if blocks > limit:
+                raise SimFault(f"SMT run exceeded {limit} fetch blocks")
+            active = [t for t in self.threads if not t.halted]
+            thread = min(active, key=lambda t: t.fetch_clock)
+            self._step(thread)
+        self.frontend.smt_active = False
+        self.uop_cache.set_smt_active(False)
+        return (
+            self.threads[0].counters.delta(befores[0]),
+            self.threads[1].counters.delta(befores[1]),
+        )
+
+    # ------------------------------------------------------------------
+    # the pipeline step
+
+    def _step(self, thread: ThreadContext) -> None:
+        """Fetch, execute and resolve one block for ``thread``."""
+        spec = self._spec[thread.thread_id]
+        self._sweep(thread, spec)
+        if thread.halted:
+            return
+
+        if self.noise is not None:
+            self.noise.maybe_evict(self.uop_cache)
+
+        block = self.frontend.fetch_block(thread)
+        if self.trace is not None:
+            self.trace.append(
+                (thread.fetch_clock, block.entry, block.kind, block.source,
+                 len(block.dynuops))
+            )
+
+        halt_seq: Optional[int] = None
+        stall_resolve: Optional[ResolveInfo] = None
+        cpuid_done = 0
+        for du in block.dynuops:
+            spec.seq += 1
+            du.seq = spec.seq
+            if du.uop is du.macro.uops[0]:
+                spec.head_seqs.append(du.seq)
+                thread.counters.retired_instructions += 1
+            kill_time = min(
+                (p.resolve_cycle for p in spec.pending), default=None
+            )
+            # Invisible speculation (Section VII defenses): anything
+            # past a discovered misprediction is transient; its
+            # data-cache effects are buffered invisibly and dropped at
+            # the squash -- equivalent to suppressing them now.  Fetch
+            # (and thus the micro-op cache) is untouched: that is the
+            # hole the paper's attack drives through.
+            suppress_data = (
+                self.config.invisible_speculation and kill_time is not None
+            )
+            resolve = self.backend.process(
+                du, thread, kill_time, suppress_data=suppress_data
+            )
+            if du.uop.kind is UopKind.HALT:
+                halt_seq = du.seq
+            elif du.uop.kind is UopKind.CPUID:
+                cpuid_done = du.exec_done
+            if resolve is not None:
+                self._handle_resolution(thread, spec, du, resolve)
+                if du.pred is not None and du.pred.target is None and not du.squashed:
+                    stall_resolve = resolve
+
+        # Block epilogue: where does fetch go next, and when?
+        if block.kind in (BLOCK_SEQ, BLOCK_TAKEN):
+            if block.next_rip is None:  # unreachable guard
+                raise SimFault(f"no next rip after block at 0x{block.entry:x}")
+            thread.fetch_rip = block.next_rip
+        elif block.kind == BLOCK_STALL:
+            if stall_resolve is None or stall_resolve.actual_target is None:
+                if spec.pending:
+                    # The stalled indirect is itself transient: wait for
+                    # the older squash to resteer fetch.
+                    self._wait_for_resolution(thread, spec)
+                    return
+                raise SimFault(
+                    f"indirect branch at 0x{block.entry:x} never resolved"
+                )
+            thread.fetch_rip = stall_resolve.actual_target
+            thread.fetch_clock = max(
+                thread.fetch_clock,
+                stall_resolve.resolve_cycle + self.config.redirect_penalty,
+            )
+        elif block.kind == BLOCK_CPUID:
+            # Fetch of younger instructions stalls until the serialising
+            # instruction completes -- unless a squash preempts it.
+            stall_until = cpuid_done
+            if spec.pending:
+                stall_until = min(
+                    stall_until, min(p.resolve_cycle for p in spec.pending)
+                )
+            thread.fetch_clock = max(thread.fetch_clock, stall_until)
+            thread.fetch_rip = block.next_rip  # type: ignore[assignment]
+            self._sweep(thread, spec)
+        elif block.kind == BLOCK_HALT:
+            if spec.pending:
+                self._wait_for_resolution(thread, spec)
+            else:
+                thread.halted = True
+                self.backend.store_buffer(thread.thread_id).drain_all(self.memory)
+                spec.head_seqs.clear()
+                return
+        elif block.kind == BLOCK_FAULT:
+            if spec.pending:
+                # Transient wild fetch / privilege violation: hardware
+                # just stalls fetch until the squash redirects it.
+                self._wait_for_resolution(thread, spec)
+            else:
+                raise SimFault(
+                    f"wild fetch at 0x{thread.fetch_rip:x} "
+                    f"(priv={thread.fetch_priv})"
+                )
+        else:  # pragma: no cover
+            raise SimFault(f"unknown block kind {block.kind}")
+
+        # A HALT only takes effect if it survived any squash above
+        # (wrong-path HALTs are rolled back with everything else).
+        halt_committed = (
+            halt_seq is not None and halt_seq <= spec.seq and not spec.pending
+        )
+        if halt_committed and not thread.halted:
+            thread.halted = True
+            self.backend.store_buffer(thread.thread_id).drain_all(self.memory)
+            spec.head_seqs.clear()
+            return
+
+        # IDQ backpressure: fetch may run ahead of dispatch only by the
+        # IDQ's drain time; past that the front end stalls.
+        ahead_limit = self.config.idq_size // self.config.dispatch_width
+        if thread.dispatch_cycle - thread.fetch_clock > ahead_limit:
+            thread.fetch_clock = thread.dispatch_cycle - ahead_limit
+
+        # Commit stores that can no longer be squashed.
+        safe = min((p.seq for p in spec.pending), default=spec.seq)
+        self.backend.store_buffer(thread.thread_id).drain_upto(safe, self.memory)
+        if not spec.pending:
+            spec.head_seqs.clear()
+
+        # ROB capacity bounds the transient window.
+        if spec.pending:
+            oldest = min(spec.pending, key=lambda p: p.seq)
+            if spec.seq - oldest.seq > self.config.rob_size:
+                self._wait_for_resolution(thread, spec)
+
+    # ------------------------------------------------------------------
+    # speculation machinery
+
+    def _handle_resolution(
+        self,
+        thread: ThreadContext,
+        spec: _SpecState,
+        du: FetchedUop,
+        resolve: ResolveInfo,
+    ) -> None:
+        pred = du.pred
+        if pred is None:
+            return
+        if du.squashed:
+            # This branch would never have executed before an older
+            # squash: no training, no resteer of its own.
+            return
+        actual = resolve.actual_target
+        mispredicted = pred.target is not None and pred.target != actual
+        thread.predictor.resolve(
+            du.macro, resolve.taken, actual if actual is not None else 0, mispredicted
+        )
+        if mispredicted:
+            thread.counters.branch_mispredicts += 1
+            checkpoint = self._capture(thread, du.seq)
+            spec.pending.append(
+                _PendingSquash(du.seq, resolve.resolve_cycle, actual, checkpoint)
+            )
+
+    def _capture(self, thread: ThreadContext, seq: int) -> _Checkpoint:
+        return _Checkpoint(
+            seq=seq,
+            regs=dict(thread.regs),
+            privilege=thread.privilege,
+            fetch_priv=thread.fetch_priv,
+            kernel_link=list(thread.kernel_link),
+            rsb=thread.predictor.rsb.snapshot(),
+            reg_ready=dict(thread.reg_ready),
+            exec_floor=thread.exec_floor,
+            oldest_inflight_done=thread.oldest_inflight_done,
+            dispatch_cycle=thread.dispatch_cycle,
+            dispatch_slots_used=thread.dispatch_slots_used,
+            last_source=thread.last_source,
+        )
+
+    def _sweep(self, thread: ThreadContext, spec: _SpecState) -> None:
+        """Fire every pending squash whose resolution time has come."""
+        while spec.pending:
+            nxt = min(spec.pending, key=lambda p: p.resolve_cycle)
+            if nxt.resolve_cycle > thread.fetch_clock:
+                return
+            self._squash(thread, spec, nxt)
+
+    def _wait_for_resolution(self, thread: ThreadContext, spec: _SpecState) -> None:
+        """Stall fetch until the earliest pending squash can fire."""
+        earliest = min(p.resolve_cycle for p in spec.pending)
+        thread.fetch_clock = max(thread.fetch_clock, earliest)
+        self._sweep(thread, spec)
+
+    def _squash(
+        self, thread: ThreadContext, spec: _SpecState, pending: _PendingSquash
+    ) -> None:
+        cp = pending.checkpoint
+        squashed = spec.seq - pending.seq
+        thread.counters.squashes += 1
+        thread.counters.squashed_uops += squashed
+        thread.counters.retired_uops -= squashed
+        while spec.head_seqs and spec.head_seqs[-1] > pending.seq:
+            spec.head_seqs.pop()
+            thread.counters.retired_instructions -= 1
+
+        thread.regs = dict(cp.regs)
+        thread.privilege = cp.privilege
+        thread.fetch_priv = cp.fetch_priv
+        thread.kernel_link = list(cp.kernel_link)
+        thread.predictor.rsb.restore(cp.rsb)
+        thread.reg_ready = dict(cp.reg_ready)
+        thread.exec_floor = cp.exec_floor
+        thread.oldest_inflight_done = cp.oldest_inflight_done
+        thread.dispatch_cycle = cp.dispatch_cycle
+        thread.dispatch_slots_used = cp.dispatch_slots_used
+        thread.last_source = cp.last_source
+
+        self.backend.store_buffer(thread.thread_id).truncate(pending.seq)
+        spec.seq = pending.seq
+        spec.pending = [p for p in spec.pending if p.seq < pending.seq]
+
+        thread.fetch_rip = pending.correct_rip
+        thread.fetch_clock = pending.resolve_cycle + self.config.mispredict_penalty
+        thread.last_retire = max(thread.last_retire, thread.fetch_clock)

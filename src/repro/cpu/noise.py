@@ -1,0 +1,58 @@
+"""Optional interference noise.
+
+The simulator is deterministic; real machines are not.  The paper's
+channels see 0.2-5.6% raw error rates from OS/SMT interference and
+measurement jitter.  ``NoiseModel`` injects the two effects the
+channels are actually sensitive to -- spurious micro-op cache
+evictions (co-runner code fetches) and RDTSC jitter -- behind a seeded
+RNG so experiments remain reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.uopcache.cache import UopCache
+
+
+class NoiseModel:
+    """Seeded interference injector.
+
+    ``evict_prob`` is the per-fetch-block probability that one random
+    micro-op cache line is evicted (modelling unrelated code sharing
+    the structure); ``jitter_sd`` is the standard deviation, in cycles,
+    of Gaussian noise added to RDTSC reads.
+    """
+
+    def __init__(
+        self,
+        evict_prob: float = 0.0,
+        jitter_sd: float = 0.0,
+        seed: int = 0,
+    ):
+        if not 0.0 <= evict_prob <= 1.0:
+            raise ValueError("evict_prob must be a probability")
+        self.evict_prob = evict_prob
+        self.jitter_sd = jitter_sd
+        self._rng = random.Random(seed)
+
+    def maybe_evict(self, uop_cache: UopCache) -> None:
+        """Possibly evict one random resident line."""
+        if self.evict_prob <= 0.0:
+            return
+        if self._rng.random() >= self.evict_prob:
+            return
+        occupied = [i for i in range(uop_cache.sets) if uop_cache.set_occupancy(i)]
+        if not occupied:
+            return
+        idx = self._rng.choice(occupied)
+        ways = uop_cache._sets[idx]
+        ways.pop(self._rng.randrange(len(ways)))
+        uop_cache.stats.evictions += 1
+
+    def rdtsc_jitter(self) -> int:
+        """Cycles of jitter to add to one RDTSC read."""
+        if self.jitter_sd <= 0.0:
+            return 0
+        return int(round(self._rng.gauss(0.0, self.jitter_sd)))

@@ -1,0 +1,71 @@
+"""Pipeline trace formatting.
+
+``Core.trace`` (when set to a list) records one tuple per fetch block:
+``(fetch_clock, entry, kind, source, n_uops)``.  This module renders
+those records with program labels resolved -- the view used throughout
+this project to debug transient windows (see the development notes in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.isa.program import Program
+
+TraceRecord = Tuple[int, int, str, str, int]
+
+
+def format_trace(
+    records: Iterable[TraceRecord],
+    program: Optional[Program] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Render trace records as an aligned text listing.
+
+    With a program, entry addresses are annotated with the nearest
+    preceding label (the function the block belongs to).
+    """
+    labels: List[Tuple[int, str]] = []
+    if program is not None:
+        labels = sorted((addr, name) for name, addr in program.labels.items())
+
+    def nearest_label(addr: int) -> str:
+        best = ""
+        for label_addr, name in labels:
+            if label_addr > addr:
+                break
+            best = name if label_addr == addr else f"{name}+{addr - label_addr:#x}"
+        return best
+
+    lines = []
+    for i, (clock, entry, kind, source, n_uops) in enumerate(records):
+        if limit is not None and i >= limit:
+            lines.append(f"  ... ({i} records shown)")
+            break
+        where = nearest_label(entry) if labels else ""
+        lines.append(
+            f"  clk={clock:6d}  {entry:#010x} {where:<24s} "
+            f"{kind:<14s} {source:<5s} {n_uops:2d} uops"
+        )
+    return "\n".join(lines)
+
+
+def summarize_trace(records: Iterable[TraceRecord]) -> dict:
+    """Aggregate statistics over a trace: blocks, uops and per-source
+    delivery counts."""
+    total_blocks = 0
+    total_uops = 0
+    by_source: dict = {}
+    by_kind: dict = {}
+    for _, _, kind, source, n_uops in records:
+        total_blocks += 1
+        total_uops += n_uops
+        by_source[source] = by_source.get(source, 0) + n_uops
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    return {
+        "blocks": total_blocks,
+        "uops": total_uops,
+        "uops_by_source": by_source,
+        "blocks_by_kind": by_kind,
+    }

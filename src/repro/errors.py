@@ -1,0 +1,16 @@
+"""Shared exception types."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SimFault(ReproError):
+    """An architecturally impossible situation: wild non-speculative
+    fetch, privilege violation on the committed path, runaway program.
+    Speculative (transient) versions of these conditions are handled
+    silently, as hardware does."""
+
+
+class ConfigError(ReproError):
+    """Invalid CPU or experiment configuration."""

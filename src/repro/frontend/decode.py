@@ -1,0 +1,159 @@
+"""Legacy decode pipeline (MITE) cost model.
+
+Models the decoder organisations of Section II-A:
+
+- Skylake: four 1:1 decoders plus one 1:4 decoder, peak 5 uops/cycle;
+  instructions over 4 uops go to the MSROM.
+- Zen: four 1:2 decoders; instructions over 2 uops go to the microcode
+  ROM.
+
+The MSROM takes over the whole decode group while sequencing, which is
+why microcoded instructions are so slow to deliver -- and why a
+micro-op cache hit (skipping all of this) is such a sharp timing
+signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cpu.config import CPUConfig
+from repro.isa.instruction import MacroOp, UopKind
+
+
+class _FusedPair:
+    """A macro-fused cmp/test + jcc pair as seen by the decoders: one
+    decode slot, one uop of bandwidth."""
+
+    msrom = False
+    uop_count = 1
+
+    def __init__(self, first: MacroOp, second: MacroOp):
+        self.first = first
+        self.second = second
+        self.mnemonic = f"{first.mnemonic}+{second.mnemonic}"
+
+
+def effective_msrom(macro: MacroOp, config: CPUConfig) -> bool:
+    """True if this macro-op is microcoded *on this CPU*.
+
+    Templates mark architecturally microcoded instructions
+    (CPUID/SYSCALL...); additionally, any instruction wider than the
+    decode style's threshold is relegated to microcode -- e.g. a 3-uop
+    instruction decodes normally on Skylake (1:4 decoder) but is
+    microcoded on Zen (1:2 decoders).
+    """
+    return macro.msrom or macro.uop_count > config.msrom_threshold
+
+
+@dataclass
+class DecodeResult:
+    """Cost and per-source uop counts of decoding one fetch group."""
+
+    cycles: int
+    mite_uops: int
+    msrom_uops: int
+    macro_ops: int
+
+
+def _fusible_pair(first: MacroOp, second: MacroOp) -> bool:
+    """Macro-fusion eligibility: a flag-producing single-uop test/cmp
+    (or flag-setting ALU) immediately followed by a conditional branch
+    fuses into one decode slot (Section II-C's bandwidth optimisation)."""
+    if second.branch_kind.value != "jcc":
+        return False
+    if first.uop_count != 1 or first.msrom:
+        return False
+    kind = first.uops[0].kind
+    return kind in (UopKind.CMP, UopKind.TEST) or first.uops[0].sets_flags
+
+
+def decode_cost(macros: Sequence[MacroOp], config: CPUConfig) -> DecodeResult:
+    """Cycles to push ``macros`` through the legacy decoders.
+
+    Greedy grouping: each cycle packs macro-ops into the available
+    decoders until a structural limit is hit (decoder count, complex
+    decoder occupancy, uop width); a microcoded instruction flushes the
+    group and sequences alone from the MSROM.  With
+    ``config.macro_fusion``, an eligible cmp/test + jcc pair occupies a
+    single decoder slot and a single uop of the width budget.
+    """
+    cycles = 0
+    mite_uops = 0
+    msrom_uops = 0
+
+    group_macros = 0
+    group_uops = 0
+    group_complex = 0
+
+    def close_group() -> None:
+        nonlocal cycles, group_macros, group_uops, group_complex
+        if group_macros:
+            cycles += 1
+            group_macros = 0
+            group_uops = 0
+            group_complex = 0
+
+    macros = list(macros)
+    if config.macro_fusion:
+        fused: list = []
+        i = 0
+        while i < len(macros):
+            if i + 1 < len(macros) and _fusible_pair(macros[i], macros[i + 1]):
+                fused.append(_FusedPair(macros[i], macros[i + 1]))
+                i += 2
+            else:
+                fused.append(macros[i])
+                i += 1
+        macros = fused
+
+    for macro in macros:
+        n = macro.uop_count
+        if effective_msrom(macro, config):
+            close_group()
+            seq_cycles = max(
+                config.msrom_min_cycles,
+                -(-n // config.msrom_uops_per_cycle),  # ceil division
+            )
+            cycles += seq_cycles
+            msrom_uops += n
+            continue
+        if config.decode_style == "skylake":
+            is_complex = n > 1
+            fits = (
+                group_macros < 5
+                and group_uops + n <= config.max_decode_uops_per_cycle
+                and (not is_complex or group_complex == 0)
+            )
+            if not fits:
+                close_group()
+            group_macros += 1
+            group_uops += n
+            group_complex += 1 if is_complex else 0
+        else:  # zen: four decoders, each up to 2 uops
+            fits = (
+                group_macros < 4
+                and group_uops + n <= config.max_decode_uops_per_cycle
+            )
+            if not fits:
+                close_group()
+            group_macros += 1
+            group_uops += n
+        mite_uops += n
+    close_group()
+
+    return DecodeResult(
+        cycles=max(cycles, 1),
+        mite_uops=mite_uops,
+        msrom_uops=msrom_uops,
+        macro_ops=len(macros),
+    )
+
+
+def predecode_cost(total_bytes: int, lcp_count: int, config: CPUConfig) -> int:
+    """Cycles for the 16-byte-per-cycle predecoder to length-decode a
+    fetch group, including the 3-6 cycle penalty per length-changing
+    prefix (we charge ``lcp_penalty`` per LCP)."""
+    fetch_cycles = -(-max(total_bytes, 1) // config.fetch_bytes_per_cycle)
+    return fetch_cycles + config.lcp_penalty * lcp_count

@@ -1,0 +1,289 @@
+"""Front-end fetch/delivery engine.
+
+``FrontEnd.fetch_block`` advances one hardware thread's fetch stream by
+one *block*: the micro-ops delivered from the current fetch address up
+to the first predicted-taken branch, serialising instruction, or
+32-byte region boundary.  Delivery comes either from the micro-op
+cache (DSB path: up to 6 uops/cycle, no ICache access, no decode) or
+from the legacy pipeline (MITE path: ICache access, 16B/cycle
+predecode with LCP stalls, decoder grouping, MSROM sequencing), with
+the one-cycle switch penalty charged on every DSB<->MITE transition.
+
+Two documented simplifications (DESIGN.md):
+
+- a region's cached content is built from the *full* region walk
+  (decoding through not-taken conditional branches up to the region
+  end or first unconditional jump), so cached content is independent
+  of branch predictions; predictions cut the *delivery* instead;
+- on a DSB hit, delivered micro-ops are re-derived from the program
+  (identical by construction to the cached packing), the cached lines
+  being authoritative for capacity/timing only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.branch.predictor import Prediction
+from repro.cpu.config import CPUConfig
+from repro.cpu.thread import KERNEL_PRIV, ThreadContext, USER_PRIV
+from repro.frontend.decode import decode_cost, effective_msrom, predecode_cost
+from repro.isa.instruction import BranchKind, MacroOp, MicroOp, UopKind, region_of
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.uopcache.cache import UopCache
+from repro.uopcache.placement import LineSpec, build_lines
+
+
+@dataclass
+class FetchedUop:
+    """A dynamic micro-op instance in flight."""
+
+    uop: MicroOp
+    macro: MacroOp
+    source: str  # "dsb" | "mite" | "msrom"
+    pred: Optional[Prediction] = None  # set on control uops
+    seq: int = 0  # global dynamic sequence number (core-assigned)
+    fetch_cycle: int = 0
+    dispatch_cycle: int = 0
+    exec_start: int = 0
+    exec_done: int = 0
+    squashed: bool = False
+
+
+#: Block termination kinds.
+BLOCK_SEQ = "seq"  # fell through to the next region
+BLOCK_TAKEN = "taken"  # predicted-taken branch redirected fetch
+BLOCK_STALL = "stall_indirect"  # unpredicted indirect/ret: wait for resolve
+BLOCK_HALT = "halt"  # HALT fetched
+BLOCK_CPUID = "cpuid"  # serialising instruction: fetch stalls until done
+BLOCK_FAULT = "fault"  # wild fetch or privilege violation
+
+
+@dataclass
+class FetchBlock:
+    """Result of one fetch step."""
+
+    entry: int
+    dynuops: List[FetchedUop]
+    kind: str
+    next_rip: Optional[int]
+    source: str
+    cycles: int
+
+
+@dataclass
+class _RegionWalk:
+    """Memoized prediction-independent decode of one region entry."""
+
+    macros: Tuple[MacroOp, ...]
+    specs: Optional[List[LineSpec]]  # None => not cacheable
+
+
+class FrontEnd:
+    """Fetch and decode engine shared by all threads of a core."""
+
+    def __init__(
+        self,
+        config: CPUConfig,
+        program: Program,
+        uop_cache: UopCache,
+        hierarchy: MemoryHierarchy,
+    ):
+        self.config = config
+        self.program = program
+        self.uop_cache = uop_cache
+        self.hierarchy = hierarchy
+        self._walks: Dict[int, _RegionWalk] = {}
+        self.smt_active = False
+
+    # ------------------------------------------------------------------
+
+    def invalidate_walk_cache(self) -> None:
+        """Drop memoized region walks (after program changes)."""
+        self._walks.clear()
+
+    def _walk_region(self, rip: int) -> _RegionWalk:
+        """Decode from ``rip`` to the region end / first unconditional
+        control / serialising instruction, prediction-independently."""
+        walk = self._walks.get(rip)
+        if walk is not None:
+            return walk
+        macros: List[MacroOp] = []
+        region = region_of(rip, self.config.region_bytes)
+        addr = rip
+        while True:
+            macro = self.program.at(addr)
+            if macro is None:
+                break
+            if addr != rip and region_of(addr, self.config.region_bytes) != region:
+                break
+            macros.append(macro)
+            kind = macro.branch_kind
+            if kind not in (BranchKind.NONE, BranchKind.JCC):
+                break  # unconditional control transfer ends the walk
+            if any(u.kind in (UopKind.HALT, UopKind.CPUID) for u in macro.uops):
+                break
+            addr = macro.end
+        specs = None
+        if macros:
+            specs = build_lines(
+                macros,
+                uops_per_line=self.config.uops_per_line,
+                max_lines_per_region=self.config.max_lines_per_region,
+            )
+        walk = _RegionWalk(macros=tuple(macros), specs=specs)
+        self._walks[rip] = walk
+        return walk
+
+    # ------------------------------------------------------------------
+
+    def fetch_block(self, thread: ThreadContext) -> FetchBlock:
+        """Fetch/deliver one block for ``thread`` and charge its clock."""
+        config = self.config
+        entry = thread.fetch_rip
+        counters = thread.counters
+        counters.fetch_blocks += 1
+
+        walk = self._walk_region(entry)
+        if not walk.macros:
+            return FetchBlock(entry, [], BLOCK_FAULT, None, "none", 0)
+        if self.program.is_kernel_code(entry) and thread.fetch_priv != KERNEL_PRIV:
+            return FetchBlock(entry, [], BLOCK_FAULT, None, "none", 0)
+
+        # --- DSB lookup -------------------------------------------------
+        hit_lines = None
+        if config.uop_cache_enabled:
+            hit_lines = self.uop_cache.lookup(
+                thread.thread_id, entry, thread.fetch_priv
+            )
+            if hit_lines is not None:
+                counters.dsb_hits += 1
+            else:
+                counters.dsb_misses += 1
+        source = "dsb" if hit_lines is not None else "mite"
+
+        # --- delivery walk with prediction cuts -------------------------
+        dynuops: List[FetchedUop] = []
+        delivered_macros: List[MacroOp] = []
+        kind = BLOCK_SEQ
+        next_rip: Optional[int] = None
+        for macro in walk.macros:
+            msource = "msrom" if effective_msrom(macro, config) else source
+            first = len(dynuops)
+            for uop in macro.uops:
+                dynuops.append(FetchedUop(uop=uop, macro=macro, source=msource))
+            delivered_macros.append(macro)
+            bkind = macro.branch_kind
+            if bkind is BranchKind.JCC:
+                pred = thread.predictor.predict(macro)
+                dynuops[first].pred = pred
+                counters.branches += 1
+                if pred.taken:
+                    kind = BLOCK_TAKEN
+                    next_rip = pred.target
+                    break
+                continue
+            if bkind in (BranchKind.JMP, BranchKind.CALL):
+                pred = thread.predictor.predict(macro)
+                dynuops[first].pred = pred
+                counters.branches += 1
+                kind = BLOCK_TAKEN
+                next_rip = macro.target
+                break
+            if bkind in (BranchKind.JMP_IND, BranchKind.CALL_IND, BranchKind.RET):
+                pred = thread.predictor.predict(macro)
+                dynuops[first].pred = pred
+                counters.branches += 1
+                if pred.target is None:
+                    kind = BLOCK_STALL
+                    next_rip = None
+                else:
+                    kind = BLOCK_TAKEN
+                    next_rip = pred.target
+                break
+            if bkind is BranchKind.SYSCALL:
+                kernel_entry = self.program.labels.get("kernel_entry")
+                if kernel_entry is None:
+                    kind = BLOCK_FAULT
+                    break
+                thread.kernel_link.append(macro.end)
+                thread.fetch_priv = KERNEL_PRIV
+                counters.syscalls += 1
+                kind = BLOCK_TAKEN
+                next_rip = kernel_entry
+                if config.flush_uop_cache_on_domain_crossing:
+                    self.uop_cache.flush()
+                break
+            if bkind is BranchKind.SYSRET:
+                if not thread.kernel_link:
+                    kind = BLOCK_FAULT
+                    break
+                thread.fetch_priv = USER_PRIV
+                kind = BLOCK_TAKEN
+                next_rip = thread.kernel_link.pop()
+                if config.flush_uop_cache_on_domain_crossing:
+                    self.uop_cache.flush()
+                break
+            if any(u.kind is UopKind.HALT for u in macro.uops):
+                kind = BLOCK_HALT
+                next_rip = macro.end
+                break
+            if any(u.kind is UopKind.CPUID for u in macro.uops):
+                kind = BLOCK_CPUID
+                next_rip = macro.end
+                break
+        else:
+            next_rip = walk.macros[-1].end  # sequential fall-through
+
+        # --- timing and counters ----------------------------------------
+        switch = thread.last_source not in (source, "none")
+        cycles = config.dsb_mite_switch_penalty if switch else 0
+        if switch:
+            counters.dsb_switches += 1
+
+        n_delivered = len(dynuops)
+        if source == "dsb":
+            cycles += -(-n_delivered // config.dsb_uops_per_cycle)
+        else:
+            itlb_misses_before = self.hierarchy.itlb.misses
+            access = self.hierarchy.access_inst(entry)
+            if access.level != "L1":
+                counters.icache_misses += 1
+            counters.itlb_misses += self.hierarchy.itlb.misses - itlb_misses_before
+            extra = max(0, access.latency - self.hierarchy.l1i.latency)
+            total_bytes = sum(m.length for m in delivered_macros)
+            lcp = sum(m.lcp_count for m in delivered_macros)
+            mite_cycles = (
+                predecode_cost(total_bytes, lcp, config)
+                + decode_cost(delivered_macros, config).cycles
+            )
+            if self.smt_active and config.smt_decode_shared:
+                mite_cycles *= 2
+            penalty = mite_cycles + extra + (
+                config.dsb_mite_switch_penalty if switch else 0
+            )
+            counters.dsb_miss_penalty_cycles += penalty
+            counters.macro_ops_decoded += len(delivered_macros)
+            cycles += mite_cycles + extra
+            # Fill the micro-op cache with the full region packing.
+            if config.uop_cache_enabled and walk.specs is not None:
+                self.uop_cache.fill(
+                    thread.thread_id, entry, walk.specs, thread.fetch_priv
+                )
+
+        for du in dynuops:
+            if du.source == "dsb":
+                counters.uops_dsb += 1
+            elif du.source == "msrom":
+                counters.uops_msrom += 1
+            else:
+                counters.uops_mite += 1
+
+        thread.last_source = source
+        thread.fetch_clock += max(cycles, 1)
+        for du in dynuops:
+            du.fetch_cycle = thread.fetch_clock
+
+        return FetchBlock(entry, dynuops, kind, next_rip, source, cycles)

@@ -1,0 +1,39 @@
+"""Synthetic x86-like ISA substrate.
+
+The micro-op cache only observes a handful of instruction properties:
+byte length, alignment, number of decoded micro-ops, prefix composition
+(length-changing prefixes), immediate width, and control-flow behaviour.
+This package models exactly those properties, plus enough execution
+semantics (registers, memory, flags, branches) for the paper's victim
+functions and attack code to actually run on the simulated core.
+
+Public API:
+
+- :class:`~repro.isa.instruction.MacroOp` / :class:`~repro.isa.instruction.MicroOp`
+  -- the decoded-instruction model.
+- :mod:`repro.isa.encodings` -- constructor functions for every
+  instruction template used by the paper's microbenchmarks and attacks
+  (``nop``, ``jmp``, ``mov_imm``, ``load``, ``rdtsc``, ``lfence``, ...).
+- :class:`~repro.isa.assembler.Assembler` -- two-pass assembler with
+  labels and ``.align`` directives.
+- :class:`~repro.isa.program.Program` -- an assembled address space.
+"""
+
+from repro.isa.instruction import (
+    BranchKind,
+    MacroOp,
+    MicroOp,
+    UopKind,
+)
+from repro.isa.assembler import Assembler, AssemblyError
+from repro.isa.program import Program
+
+__all__ = [
+    "Assembler",
+    "AssemblyError",
+    "BranchKind",
+    "MacroOp",
+    "MicroOp",
+    "Program",
+    "UopKind",
+]

@@ -1,0 +1,107 @@
+"""Program disassembler / pretty printer.
+
+Renders assembled programs back into a NASM-flavoured listing --
+useful for debugging generated exploit code and as the substrate the
+gadget scanner (:mod:`repro.core.gadgets`) reports findings against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.isa.instruction import BranchKind, MacroOp, UopKind
+from repro.isa.program import Program
+
+
+def _operand(uop) -> str:
+    parts = []
+    if uop.base:
+        parts.append(uop.base)
+    if uop.index:
+        parts.append(f"{uop.index}*{uop.scale}")
+    if uop.disp:
+        parts.append(f"{uop.disp:#x}")
+    return "[" + " + ".join(parts) + "]" if parts else ""
+
+
+def format_instruction(
+    instr: MacroOp, labels: Optional[Dict[int, str]] = None
+) -> str:
+    """One-line rendering of a macro-op."""
+    labels = labels or {}
+    mnem = instr.mnemonic
+    uop = instr.uops[0]
+    kind = uop.kind
+    if kind is UopKind.NOP:
+        text = f"nop{instr.length}"
+        if instr.lcp_count:
+            text += f" (lcp x{instr.lcp_count})"
+    elif kind is UopKind.MOV_IMM:
+        text = f"mov {uop.dst}, {uop.imm:#x}"
+    elif kind is UopKind.MOV:
+        text = f"mov {uop.dst}, {uop.srcs[0]}"
+    elif kind is UopKind.ALU:
+        text = f"{uop.alu_op} {uop.dst}, {uop.srcs[1]}"
+    elif kind is UopKind.ALU_IMM:
+        text = f"{uop.alu_op} {uop.dst}, {uop.imm:#x}"
+    elif kind is UopKind.CMP:
+        rhs = uop.srcs[1] if len(uop.srcs) > 1 else f"{uop.imm:#x}"
+        text = f"cmp {uop.srcs[0]}, {rhs}"
+    elif kind is UopKind.TEST:
+        rhs = uop.srcs[1] if len(uop.srcs) > 1 else f"{uop.imm:#x}"
+        text = f"test {uop.srcs[0]}, {rhs}"
+    elif kind is UopKind.LOAD:
+        text = f"mov {uop.dst}, {_operand(uop)}"
+        if uop.mem_size != 8:
+            text = f"movzx {uop.dst}, byte {_operand(uop)}"
+    elif kind is UopKind.STORE:
+        text = f"mov {_operand(uop)}, {uop.srcs[0]}"
+    elif kind is UopKind.JCC:
+        target = labels.get(uop.target, f"{uop.target:#x}")
+        text = f"j{uop.cond} {target}"
+    elif kind is UopKind.JMP:
+        target = labels.get(uop.target, f"{uop.target:#x}")
+        text = f"jmp {target}"
+    elif kind is UopKind.CALL:
+        target = labels.get(uop.target, f"{uop.target:#x}")
+        text = f"call {target}"
+    elif kind in (UopKind.JMP_IND, UopKind.CALL_IND):
+        verb = "jmp" if kind is UopKind.JMP_IND else "call"
+        text = f"{verb} {uop.srcs[0]}"
+    elif kind is UopKind.CLFLUSH:
+        text = f"clflush {_operand(uop)}"
+    elif kind is UopKind.RDTSC:
+        text = f"rdtsc -> {uop.dst}"
+    else:
+        text = mnem
+    return text
+
+
+def disassemble(
+    program: Program,
+    start: Optional[int] = None,
+    end: Optional[int] = None,
+) -> str:
+    """Full listing with addresses, labels and micro-op counts."""
+    addr_labels = {addr: name for name, addr in program.labels.items()}
+    lines: List[str] = []
+    for instr in program.iter_instructions():
+        if start is not None and instr.addr < start:
+            continue
+        if end is not None and instr.addr >= end:
+            continue
+        if instr.addr in addr_labels:
+            lines.append(f"{addr_labels[instr.addr]}:")
+        text = format_instruction(instr, addr_labels)
+        marks = []
+        if instr.msrom:
+            marks.append("msrom")
+        if not instr.cacheable:
+            marks.append("uncacheable")
+        suffix = f"  ; {' '.join(marks)}" if marks else ""
+        lines.append(
+            f"  {instr.addr:#010x}: {text:<40s} "
+            f"({instr.uop_count} uop{'s' if instr.uop_count != 1 else ''})"
+            f"{suffix}"
+        )
+    return "\n".join(lines)

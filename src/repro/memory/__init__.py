@@ -1,0 +1,26 @@
+"""Memory-system substrates: caches, the data/instruction hierarchy,
+main memory, and the instruction TLB.
+
+The paper's attacks need these for three reasons:
+
+- the Spectre-v1 *baseline* of Table II transmits through the LLC via
+  FLUSH+RELOAD, so a multi-level data hierarchy with ``clflush`` must
+  exist;
+- the micro-op cache is *inclusive* in the L1 instruction cache and the
+  iTLB (Section II-B): L1I evictions and iTLB flushes must propagate;
+- transient-window gadgets are built from loads that miss to DRAM.
+"""
+
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.memory.mainmem import MainMemory
+from repro.memory.tlb import TLB
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheStats",
+    "MainMemory",
+    "MemoryHierarchy",
+    "TLB",
+]

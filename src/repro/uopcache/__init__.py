@@ -1,0 +1,35 @@
+"""The micro-op cache (DSB) model.
+
+Implements the organisation reverse-engineered in Sections II-B/III of
+the paper:
+
+- 32 sets x 8 ways, 6 micro-op slots per line (Skylake numbers;
+  parameterisable for Zen and Sunny Cove);
+- set index taken from bits 5-9 of the instruction address, so one
+  aligned 32-byte code region always maps to one set;
+- all documented placement rules (3-line/18-slot region cap, MSROM
+  lines, unconditional-jump line termination, two-branch limit,
+  double-slot 64-bit immediates);
+- streaming delivery of all of a region's lines on a hit;
+- the *hotness*-based replacement the paper reverse-engineers
+  (Figure 5), with LRU available for ablation;
+- Intel static SMT partitioning (16 private 8-way sets per thread,
+  Figure 7) versus AMD competitive sharing;
+- inclusion in the L1I and the iTLB (evictions/flushes propagate in).
+"""
+
+from repro.uopcache.line import UopCacheLine
+from repro.uopcache.placement import PlacementError, build_lines
+from repro.uopcache.policies import HotnessPolicy, LRUPolicy, ReplacementPolicy
+from repro.uopcache.cache import UopCache, UopCacheStats
+
+__all__ = [
+    "HotnessPolicy",
+    "LRUPolicy",
+    "PlacementError",
+    "ReplacementPolicy",
+    "UopCache",
+    "UopCacheLine",
+    "UopCacheStats",
+    "build_lines",
+]

@@ -1,0 +1,274 @@
+"""The micro-op cache proper: sets, ways, streaming, partitioning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import region_of
+from repro.uopcache.line import UopCacheLine
+from repro.uopcache.placement import LineSpec
+from repro.uopcache.policies import HotnessPolicy, ReplacementPolicy
+
+
+@dataclass
+class UopCacheStats:
+    """Micro-op cache event counters."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0  # fill *attempts* (regions)
+    lines_filled: int = 0
+    fill_rejects: int = 0  # lines bypassed by the wear-down policy
+    evictions: int = 0
+    streamed_uops: int = 0
+    flushes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Region-granular hit rate."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+class UopCache:
+    """Set-associative streaming micro-op cache.
+
+    Entries are tagged by *fetch entry address* and grouped per 32-byte
+    region; a lookup hits only when every line of the region's packing
+    is resident, and then streams them all (Section II-B's streaming
+    behaviour).
+
+    Sharing modes (Section III, "Partitioning Policy"):
+
+    - ``"static"`` (Intel): with SMT active, each thread owns a private
+      half organised as ``sets/2`` full-associativity-preserving 8-way
+      sets (Figure 7's finding).  Single-threaded mode uses all sets.
+    - ``"competitive"`` (AMD): both threads index the full cache and
+      evict each other -- the property the cross-SMT channel needs.
+
+    ``privilege_partition`` implements the Section VIII countermeasure:
+    user and kernel code index disjoint halves.
+    """
+
+    def __init__(
+        self,
+        sets: int = 32,
+        ways: int = 8,
+        uops_per_line: int = 6,
+        max_lines_per_region: int = 3,
+        policy: Optional[ReplacementPolicy] = None,
+        sharing: str = "static",
+        privilege_partition: bool = False,
+        region_bytes: int = 32,
+    ):
+        if sets & (sets - 1):
+            raise ValueError("sets must be a power of two")
+        if sharing not in ("static", "competitive"):
+            raise ValueError(f"unknown sharing mode {sharing!r}")
+        self.sets = sets
+        self.ways = ways
+        self.uops_per_line = uops_per_line
+        self.max_lines_per_region = max_lines_per_region
+        self.policy = policy if policy is not None else HotnessPolicy()
+        self.sharing = sharing
+        self.privilege_partition = privilege_partition
+        self.region_bytes = region_bytes
+        self.smt_active = False
+        self.stats = UopCacheStats()
+        self._sets: List[List[UopCacheLine]] = [[] for _ in range(sets)]
+        self._set_state: List[Dict] = [{} for _ in range(sets)]
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    # geometry
+
+    @property
+    def capacity_uops(self) -> int:
+        """Maximum micro-ops the cache can hold."""
+        return self.sets * self.ways * self.uops_per_line
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total number of lines."""
+        return self.sets * self.ways
+
+    def set_index(self, entry: int, thread: int, privilege: int = 3) -> int:
+        """Set selected for a fetch entry address.
+
+        Base index is bits 5-9 of the address (for 32 sets / 32-byte
+        regions); partitioning folds it into the thread's and/or
+        privilege level's share.
+        """
+        bits = entry // self.region_bytes
+        frac = self.sets
+        offset = 0
+        if self.smt_active and self.sharing == "static":
+            frac //= 2
+            offset += frac * (thread & 1)
+        if self.privilege_partition:
+            frac //= 2
+            offset += frac * (0 if privilege == 0 else 1)
+        return offset + (bits % frac)
+
+    # ------------------------------------------------------------------
+    # SMT mode
+
+    def set_smt_active(self, active: bool) -> None:
+        """Toggle SMT mode; repartitioning flushes the structure."""
+        if active != self.smt_active:
+            self.smt_active = active
+            if self.sharing == "static":
+                self.flush()
+
+    # ------------------------------------------------------------------
+    # lookup / fill
+
+    def lookup(
+        self, thread: int, entry: int, privilege: int = 3
+    ) -> Optional[List[UopCacheLine]]:
+        """Stream the region entered at ``entry`` if fully resident.
+
+        Returns the ordered lines on a hit (updating replacement
+        state), or ``None`` on a miss.
+        """
+        self._tick += 1
+        self.stats.lookups += 1
+        idx = self.set_index(entry, thread, privilege)
+        ways = self._sets[idx]
+        self.policy.touch_set(ways, self._tick, self._set_state[idx])
+        lines = sorted(
+            (l for l in ways if l.thread == thread and l.entry == entry),
+            key=lambda l: l.seq,
+        )
+        if not lines or len(lines) != lines[0].region_lines:
+            self.stats.misses += 1
+            return None
+        if [l.seq for l in lines] != list(range(len(lines))):
+            self.stats.misses += 1
+            return None
+        for line in lines:
+            self.policy.on_hit(line, self._tick)
+            self.stats.streamed_uops += line.uop_count
+        self.stats.hits += 1
+        return lines
+
+    def fill(
+        self,
+        thread: int,
+        entry: int,
+        specs: Sequence[LineSpec],
+        privilege: int = 3,
+    ) -> bool:
+        """Install a decoded region (from :func:`build_lines` output).
+
+        Returns True only if *every* line was admitted; under the
+        hotness policy a fill may be (partially) bypassed, wearing down
+        the resident lines instead -- subsequent misses retry and
+        eventually displace them.
+        """
+        if not specs or len(specs) > self.max_lines_per_region:
+            return False
+        self._tick += 1
+        self.stats.fills += 1
+        idx = self.set_index(entry, thread, privilege)
+        ways = self._sets[idx]
+        state = self._set_state[idx]
+        self.policy.touch_set(ways, self._tick, state)
+        all_in = True
+        total = len(specs)
+        for seq, spec in enumerate(specs):
+            line = UopCacheLine(
+                thread=thread,
+                entry=entry,
+                seq=seq,
+                uops=spec.uops,
+                slots=spec.slots,
+                msrom=spec.msrom,
+                region_lines=total,
+            )
+            if not self._insert(ways, state, line):
+                all_in = False
+        return all_in
+
+    def _insert(
+        self, ways: List[UopCacheLine], state: Dict, line: UopCacheLine
+    ) -> bool:
+        for existing in ways:
+            if existing.key() == line.key():
+                ways.remove(existing)
+                break
+        if len(ways) < self.ways:
+            self.policy.on_fill(line, self._tick)
+            ways.append(line)
+            self.stats.lines_filled += 1
+            return True
+        victim = self.policy.choose_victim(ways, self._tick, state)
+        if victim is None:
+            self.stats.fill_rejects += 1
+            return False
+        ways.remove(victim)
+        self.stats.evictions += 1
+        self.policy.on_fill(line, self._tick)
+        ways.append(line)
+        self.stats.lines_filled += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # invalidation / inclusion
+
+    def flush(self) -> None:
+        """Drop every line (iTLB flush / domain-crossing mitigation)."""
+        self.stats.flushes += 1
+        for ways in self._sets:
+            ways.clear()
+        for state in self._set_state:
+            state.clear()
+
+    def invalidate_code_range(self, start: int, end: int) -> int:
+        """Evict lines whose region overlaps [start, end).
+
+        Called by the L1I eviction hook to maintain the documented
+        inclusion property.  Returns the number of lines dropped.
+        """
+        dropped = 0
+        lo = region_of(start, self.region_bytes)
+        for ways in self._sets:
+            keep = [
+                line
+                for line in ways
+                if not lo <= region_of(line.entry, self.region_bytes) < end
+            ]
+            if len(keep) != len(ways):
+                dropped += len(ways) - len(keep)
+                ways[:] = keep
+        return dropped
+
+    # ------------------------------------------------------------------
+    # inspection (tests and characterization)
+
+    def occupancy(self) -> int:
+        """Number of valid lines."""
+        return sum(len(ways) for ways in self._sets)
+
+    def resident_entries(self, thread: Optional[int] = None) -> List[int]:
+        """Distinct resident entry addresses (optionally one thread's)."""
+        seen = set()
+        for ways in self._sets:
+            for line in ways:
+                if thread is None or line.thread == thread:
+                    seen.add(line.entry)
+        return sorted(seen)
+
+    def set_occupancy(self, idx: int) -> int:
+        """Valid lines in set ``idx``."""
+        return len(self._sets[idx])
+
+    def lines_in_set(self, idx: int) -> List[UopCacheLine]:
+        """Copy of the lines in set ``idx`` (inspection only)."""
+        return list(self._sets[idx])

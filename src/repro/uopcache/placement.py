@@ -1,0 +1,111 @@
+"""Placement rules: packing a decoded 32-byte region into cache lines.
+
+Section II-B documents the rules this module enforces:
+
+1. a 32-byte code region may consume at most 3 lines (18 micro-ops);
+2. micro-ops delivered from the MSROM consume an entire line;
+3. micro-ops of one macro-op may not span a line boundary;
+4. an unconditional branch, if present, is always the last micro-op of
+   its line;
+5. a line may contain at most two branches;
+6. a 64-bit immediate consumes two micro-op slots.
+
+Rule 6 is encoded in :attr:`MicroOp.slots`; the rest are applied here.
+A region that violates rule 1 is simply *not cacheable* -- Figure 4
+shows micro-op delivery falling off a cliff past 18 micro-ops per
+region, which is exactly this rule firing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import MacroOp, MicroOp
+
+
+class PlacementError(Exception):
+    """Raised on internal placement inconsistencies (not for
+    uncacheable regions, which are a normal outcome)."""
+
+
+@dataclass
+class LineSpec:
+    """A packed line before insertion: micro-ops + slot count."""
+
+    uops: Tuple[MicroOp, ...]
+    slots: int
+    msrom: bool = False
+
+
+def build_lines(
+    macros: Sequence[MacroOp],
+    uops_per_line: int = 6,
+    max_lines_per_region: int = 3,
+    max_branches_per_line: int = 2,
+) -> Optional[List[LineSpec]]:
+    """Pack a region's decoded macro-ops into cache lines.
+
+    ``macros`` must be the instructions decoded for one 32-byte region,
+    in fetch order.  Returns the packed lines, or ``None`` when the
+    region cannot be cached (placement-rule overflow, or it contains an
+    instruction observed not to enter the cache, e.g. PAUSE).
+    """
+    if not macros:
+        return None
+    if any(not m.cacheable for m in macros):
+        return None
+
+    lines: List[LineSpec] = []
+    cur_uops: List[MicroOp] = []
+    cur_slots = 0
+    cur_branches = 0
+
+    def close_line(msrom: bool = False) -> None:
+        nonlocal cur_uops, cur_slots, cur_branches
+        if cur_uops:
+            lines.append(LineSpec(tuple(cur_uops), cur_slots, msrom))
+        cur_uops = []
+        cur_slots = 0
+        cur_branches = 0
+
+    for macro in macros:
+        if macro.msrom:
+            # Rule 2: an MSROM instruction takes a whole line by itself.
+            close_line()
+            lines.append(
+                LineSpec(tuple(macro.uops), uops_per_line, msrom=True)
+            )
+            continue
+
+        slots_needed = macro.slot_count
+        branches_needed = sum(1 for u in macro.uops if u.is_branch)
+        if slots_needed > uops_per_line:
+            # A single macro-op wider than a line cannot be cached at
+            # all (it would have to span a boundary, violating rule 3).
+            return None
+        # Rule 3 (no spanning) and rule 5 (branch limit): open a fresh
+        # line when this macro-op doesn't fit in the current one.
+        if (
+            cur_slots + slots_needed > uops_per_line
+            or cur_branches + branches_needed > max_branches_per_line
+        ):
+            close_line()
+        cur_uops.extend(macro.uops)
+        cur_slots += slots_needed
+        cur_branches += branches_needed
+        # Rule 4: an unconditional branch terminates the line.
+        if any(u.is_unconditional for u in macro.uops):
+            close_line()
+
+    close_line()
+
+    if len(lines) > max_lines_per_region:
+        # Rule 1: region too big for the cache -- not cached at all.
+        return None
+    if not lines:
+        return None
+    for spec in lines:
+        if spec.slots > uops_per_line and not spec.msrom:
+            raise PlacementError("packed line exceeds slot capacity")
+    return lines

@@ -1,0 +1,28 @@
+"""Shared test helpers: tiny program construction and execution."""
+
+import pytest
+
+from repro.cpu.config import CPUConfig
+from repro.cpu.core import Core
+from repro.isa.assembler import Assembler
+
+
+@pytest.fixture
+def skylake():
+    """Fresh default Skylake-class configuration."""
+    return CPUConfig.skylake()
+
+
+def build_core(build_fn, config=None, entry=None):
+    """Assemble a program via ``build_fn(asm)`` and wrap it in a Core."""
+    asm = Assembler()
+    build_fn(asm)
+    program = asm.assemble(entry=entry)
+    return Core(config or CPUConfig.skylake(), program)
+
+
+def run(build_fn, regs=None, config=None, entry="main"):
+    """Assemble, run to halt, return the core for inspection."""
+    core = build_core(build_fn, config=config, entry=entry)
+    core.call(entry, regs=regs)
+    return core

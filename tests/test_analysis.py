@@ -1,0 +1,107 @@
+"""Analysis-package tests: BSC capacity, RS budgeting, detector ROC."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.channel import (
+    bsc_capacity,
+    effective_goodput_kbps,
+    recommend_rs_parity,
+)
+from repro.analysis.detector import roc_sweep
+from repro.coding.reed_solomon import RSCodec
+
+
+class TestCapacity:
+    def test_endpoints(self):
+        assert bsc_capacity(0.0) == 1.0
+        assert bsc_capacity(0.5) == pytest.approx(0.0, abs=1e-12)
+        assert bsc_capacity(1.0) == 1.0  # inverted channel is perfect
+
+    def test_paper_error_rates_leave_real_capacity(self):
+        # Table I error rates: all still leak substantially
+        for err in (0.0022, 0.0327, 0.0559, 0.0072):
+            assert bsc_capacity(err) > 0.65
+
+    @given(st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_error(self, p):
+        assert bsc_capacity(p) >= bsc_capacity(0.5) - 1e-12
+        assert bsc_capacity(p) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bsc_capacity(1.5)
+
+    def test_goodput_scales(self):
+        assert effective_goodput_kbps(1000, 0.0) == 1000
+        assert effective_goodput_kbps(1000, 0.1) < 1000
+
+
+class TestRSBudget:
+    def test_clean_channel_minimal_parity(self):
+        assert recommend_rs_parity(0.0) == 2
+
+    def test_parity_grows_with_error(self):
+        low = recommend_rs_parity(0.001)
+        high = recommend_rs_parity(0.01)
+        assert high > low
+
+    def test_budget_actually_corrects(self):
+        """The recommended parity really does fix a channel with that
+        error rate (empirical check over the RS codec)."""
+        import random
+
+        p_bit = 0.003
+        nsym = recommend_rs_parity(p_bit, block=255,
+                                   target_block_failure=1e-4)
+        rs = RSCodec(nsym=nsym, block=255)
+        rng = random.Random(0)
+        data = bytes(rng.randrange(256) for _ in range(rs.payload_per_block))
+        failures = 0
+        for _ in range(30):
+            wire = bytearray(rs.encode(data))
+            for i in range(len(wire)):
+                for bit in range(8):
+                    if rng.random() < p_bit:
+                        wire[i] ^= 1 << bit
+            try:
+                if rs.decode(bytes(wire)) != data:
+                    failures += 1
+            except Exception:
+                failures += 1
+        assert failures <= 1  # target was 1e-4 per block
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            recommend_rs_parity(0.4, max_nsym=8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_rs_parity(0.6)
+
+
+class TestROC:
+    def test_separable_distributions_perfect_auc(self):
+        roc = roc_sweep([1, 2, 3, 4], [100, 110, 120])
+        assert roc.auc > 0.99
+        threshold, tpr = roc.best_threshold(max_fpr=0.0)
+        assert tpr == 1.0
+
+    def test_identical_distributions_chance_auc(self):
+        roc = roc_sweep([10, 20, 30], [10, 20, 30])
+        assert 0.3 < roc.auc < 0.8
+
+    def test_overlap_trades_fpr_for_tpr(self):
+        benign = [10, 12, 14, 100]  # one noisy benign window
+        attack = [90, 110, 130]
+        roc = roc_sweep(benign, attack)
+        _, tpr_strict = roc.best_threshold(max_fpr=0.0)
+        _, tpr_loose = roc.best_threshold(max_fpr=0.5)
+        assert tpr_loose >= tpr_strict
+
+    def test_requires_data(self):
+        with pytest.raises(ValueError):
+            roc_sweep([], [1])

@@ -1,0 +1,292 @@
+"""Functional semantics of every micro-op kind, exercised through the
+full core on small programs."""
+
+import pytest
+
+from repro.isa import encodings as enc
+from tests.conftest import run
+
+
+def simple(build_body):
+    def build(asm):
+        asm.label("main")
+        build_body(asm)
+        asm.emit(enc.halt())
+
+    return build
+
+
+class TestDataOps:
+    def test_mov_imm_widths(self):
+        core = run(simple(lambda asm: (
+            asm.emit(enc.mov_imm("r1", 42)),
+            asm.emit(enc.mov_imm("r2", 0x1122334455667788, width=64)),
+        )))
+        assert core.read_reg("r1") == 42
+        assert core.read_reg("r2") == 0x1122334455667788
+
+    def test_mov_reg(self):
+        core = run(simple(lambda asm: (
+            asm.emit(enc.mov_imm("r1", 7)),
+            asm.emit(enc.mov("r2", "r1")),
+        )))
+        assert core.read_reg("r2") == 7
+
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 5, 3, 8),
+            ("sub", 5, 3, 2),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 3, 2, 12),
+            ("shr", 12, 2, 3),
+            ("imul", 7, 6, 42),
+        ],
+    )
+    def test_alu_reg_reg(self, op, a, b, expected):
+        core = run(simple(lambda asm: (
+            asm.emit(enc.mov_imm("r1", a)),
+            asm.emit(enc.mov_imm("r2", b)),
+            asm.emit(enc.alu(op, "r1", "r2")),
+        )))
+        assert core.read_reg("r1") == expected
+
+    def test_alu_wraps_64_bits(self):
+        core = run(simple(lambda asm: (
+            asm.emit(enc.mov_imm("r1", (1 << 64) - 1, width=64)),
+            asm.emit(enc.alu_imm("add", "r1", 1)),
+        )))
+        assert core.read_reg("r1") == 0
+
+    def test_alu_imm(self):
+        core = run(simple(lambda asm: (
+            asm.emit(enc.mov_imm("r1", 10)),
+            asm.emit(enc.alu_imm("sub", "r1", 4)),
+        )))
+        assert core.read_reg("r1") == 6
+
+    def test_dec(self):
+        core = run(simple(lambda asm: (
+            asm.emit(enc.mov_imm("r1", 3)),
+            asm.emit(enc.dec("r1")),
+        )))
+        assert core.read_reg("r1") == 2
+
+
+class TestMemoryOps:
+    def test_store_then_load(self):
+        def body(asm):
+            asm.reserve("buf", 64)
+            asm.emit(enc.mov_imm("r1", asm.resolve("buf"), width=64))
+            asm.emit(enc.mov_imm("r2", 0xBEEF))
+            asm.emit(enc.store("r2", "r1"))
+            asm.emit(enc.load("r3", "r1"))
+
+        core = run(simple(body))
+        assert core.read_reg("r3") == 0xBEEF
+        assert core.read_mem(core.addr_of("buf")) == 0xBEEF
+
+    def test_indexed_addressing(self):
+        def body(asm):
+            asm.data("table", bytes([10, 20, 30, 40]))
+            asm.emit(enc.mov_imm("r1", asm.resolve("table"), width=64))
+            asm.emit(enc.mov_imm("r2", 2))
+            asm.emit(enc.load("r3", "r1", index="r2", size=1))
+
+        core = run(simple(body))
+        assert core.read_reg("r3") == 30
+
+    def test_scaled_index(self):
+        def body(asm):
+            asm.data("table", (100).to_bytes(8, "little")
+                     + (200).to_bytes(8, "little"))
+            asm.emit(enc.mov_imm("r1", asm.resolve("table"), width=64))
+            asm.emit(enc.mov_imm("r2", 1))
+            asm.emit(enc.load("r3", "r1", index="r2", scale=8))
+
+        core = run(simple(body))
+        assert core.read_reg("r3") == 200
+
+    def test_byte_load_isolates_byte(self):
+        def body(asm):
+            asm.data("v", b"\xAB\xCD")
+            asm.emit(enc.mov_imm("r1", asm.resolve("v"), width=64))
+            asm.emit(enc.load("r2", "r1", size=1))
+
+        assert run(simple(body)).read_reg("r2") == 0xAB
+
+    def test_clflush_slows_next_load(self):
+        def body(asm):
+            asm.reserve("buf", 64)
+            asm.emit(enc.mov_imm("r1", asm.resolve("buf"), width=64))
+            asm.emit(enc.load("r2", "r1"))
+            asm.emit(enc.clflush("r1"))
+
+        core = run(simple(body))
+        assert core.hierarchy.probe_data_latency(core.addr_of("buf")) == \
+            core.hierarchy.dram_latency
+
+
+class TestConditions:
+    @pytest.mark.parametrize(
+        "cond,a,b,taken",
+        [
+            ("z", 5, 5, True),
+            ("z", 5, 6, False),
+            ("nz", 5, 6, True),
+            ("b", 3, 5, True),
+            ("b", 5, 3, False),
+            ("ae", 5, 3, True),
+            ("ae", 5, 5, True),
+            ("l", 3, 5, True),
+            ("l", 5, 3, False),
+            ("ge", 5, 5, True),
+        ],
+    )
+    def test_jcc_after_cmp(self, cond, a, b, taken):
+        def body(asm):
+            asm.emit(enc.mov_imm("r1", a))
+            asm.emit(enc.mov_imm("r2", b))
+            asm.emit(enc.cmp_reg("r1", "r2"))
+            asm.emit(enc.jcc(cond, "yes"))
+            asm.emit(enc.mov_imm("r9", 0))
+            asm.emit(enc.jmp("out"))
+            asm.label("yes")
+            asm.emit(enc.mov_imm("r9", 1))
+            asm.label("out")
+
+        core = run(simple(body))
+        assert core.read_reg("r9") == (1 if taken else 0)
+
+    def test_test_sets_zero_flag(self):
+        def body(asm):
+            asm.emit(enc.mov_imm("r1", 0))
+            asm.emit(enc.test_reg("r1", "r1"))
+            asm.emit(enc.jcc("z", "zero"))
+            asm.emit(enc.mov_imm("r9", 0))
+            asm.emit(enc.jmp("out"))
+            asm.label("zero")
+            asm.emit(enc.mov_imm("r9", 1))
+            asm.label("out")
+
+        assert run(simple(body)).read_reg("r9") == 1
+
+
+class TestCallsAndStack:
+    def test_call_ret_roundtrip(self):
+        def build(asm):
+            asm.label("main")
+            asm.emit(enc.mov_imm("r1", 1))
+            asm.emit(enc.call("fn"))
+            asm.emit(enc.alu_imm("add", "r1", 100))
+            asm.emit(enc.halt())
+            asm.align(64)
+            asm.label("fn")
+            asm.emit(enc.alu_imm("add", "r1", 10))
+            asm.emit(enc.ret())
+
+        core = run(build)
+        assert core.read_reg("r1") == 111
+
+    def test_nested_calls(self):
+        def build(asm):
+            asm.label("main")
+            asm.emit(enc.mov_imm("r1", 0))
+            asm.emit(enc.call("outer"))
+            asm.emit(enc.halt())
+            asm.align(64)
+            asm.label("outer")
+            asm.emit(enc.alu_imm("add", "r1", 1))
+            asm.emit(enc.call("inner"))
+            asm.emit(enc.alu_imm("add", "r1", 4))
+            asm.emit(enc.ret())
+            asm.align(64)
+            asm.label("inner")
+            asm.emit(enc.alu_imm("add", "r1", 2))
+            asm.emit(enc.ret())
+
+        assert run(build).read_reg("r1") == 7
+
+    def test_indirect_call(self):
+        def build(asm):
+            asm.org(0x41_0000)
+            asm.label("fn")
+            asm.emit(enc.mov_imm("r1", 55))
+            asm.emit(enc.ret())
+            asm.org(0x40_0000)
+            asm.label("main")
+            asm.emit(enc.mov_imm("r5", asm.resolve("fn"), width=64))
+            asm.emit(enc.mov_imm("r1", 0))
+            asm.emit(enc.call_ind("r5"))
+            asm.emit(enc.halt())
+
+        core = run(build, entry="main")
+        assert core.read_reg("r1") == 55
+
+    def test_indirect_jump(self):
+        def build(asm):
+            asm.org(0x41_0000)
+            asm.label("dest")
+            asm.emit(enc.mov_imm("r1", 2))
+            asm.emit(enc.halt())
+            asm.org(0x40_0000)
+            asm.label("main")
+            asm.emit(enc.mov_imm("r5", asm.resolve("dest"), width=64))
+            asm.emit(enc.jmp_ind("r5"))
+            asm.emit(enc.mov_imm("r1", 1))  # skipped
+
+        assert run(build).read_reg("r1") == 2
+
+    def test_rsp_balanced(self):
+        def build(asm):
+            asm.label("main")
+            asm.emit(enc.call("fn"))
+            asm.emit(enc.halt())
+            asm.align(64)
+            asm.label("fn")
+            asm.emit(enc.ret())
+
+        core = run(build)
+        from repro.cpu.thread import fresh_registers
+
+        assert core.read_reg("rsp") == fresh_registers(0)["rsp"]
+
+
+class TestTimingOps:
+    def test_rdtsc_monotonic(self):
+        def body(asm):
+            asm.emit(enc.rdtsc("r1"))
+            asm.emit(enc.nop(1))
+            asm.emit(enc.rdtsc("r2"))
+
+        core = run(simple(body))
+        assert core.read_reg("r2") >= core.read_reg("r1")
+
+    def test_rdtsc_observes_slow_load(self):
+        def body(asm):
+            asm.reserve("buf", 64)
+            asm.emit(enc.mov_imm("r5", asm.resolve("buf"), width=64))
+            asm.emit(enc.rdtsc("r1"))
+            asm.emit(enc.load("r6", "r5"))  # DRAM miss
+            asm.emit(enc.rdtsc("r2"))
+
+        core = run(simple(body))
+        elapsed = core.read_reg("r2") - core.read_reg("r1")
+        assert elapsed >= core.hierarchy.dram_latency
+
+    def test_lfence_orders_execution(self):
+        """A load after an LFENCE cannot start before an older slow
+        load completes."""
+        def body(asm):
+            asm.reserve("a", 64)
+            asm.reserve("b", 64)
+            asm.emit(enc.mov_imm("r5", asm.resolve("a"), width=64))
+            asm.emit(enc.mov_imm("r6", asm.resolve("b"), width=64))
+            asm.emit(enc.load("r1", "r5"))
+            asm.emit(enc.lfence())
+            asm.emit(enc.rdtsc("r2"))
+
+        core = run(simple(body))
+        assert core.read_reg("r2") >= core.hierarchy.dram_latency

@@ -1,0 +1,40 @@
+"""CLI smoke tests (fast commands only; the heavy experiments are
+covered by examples/ and benchmarks/)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "hot_loop" in out
+    assert "mean DSB hit rate" in out
+
+
+def test_workloads_cpu_selection(capsys):
+    assert main(["workloads", "--cpu", "zen2"]) == 0
+    out = capsys.readouterr().out
+    assert "4096-uop cache" in out
+    # the 4K Zen 2 cache swallows the capacity-bound workload
+    for line in out.splitlines():
+        if line.startswith("large_code"):
+            assert "100.0%" in line
+
+
+def test_census_command(capsys):
+    assert main(["census", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "gadget census" in out
+    assert "micro-op cache attack" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

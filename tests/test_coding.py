@@ -1,0 +1,132 @@
+"""GF(256) and Reed-Solomon codec tests, with field-axiom and
+error-correction property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.gf256 import GF256
+from repro.coding.reed_solomon import RSCodec, RSDecodeError
+
+GF = GF256()
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestGF256:
+    def test_identities(self):
+        for a in range(256):
+            assert GF.mul(a, 1) == a
+            assert GF.add(a, 0) == a
+            assert GF.add(a, a) == 0  # characteristic 2
+
+    @given(elements, elements)
+    @settings(max_examples=200, deadline=None)
+    def test_commutativity(self, a, b):
+        assert GF.mul(a, b) == GF.mul(b, a)
+        assert GF.add(a, b) == GF.add(b, a)
+
+    @given(elements, elements, elements)
+    @settings(max_examples=200, deadline=None)
+    def test_mul_associative_and_distributive(self, a, b, c):
+        assert GF.mul(GF.mul(a, b), c) == GF.mul(a, GF.mul(b, c))
+        assert GF.mul(a, GF.add(b, c)) == GF.add(GF.mul(a, b), GF.mul(a, c))
+
+    @given(nonzero)
+    @settings(max_examples=100, deadline=None)
+    def test_inverse(self, a):
+        assert GF.mul(a, GF.inverse(a)) == 1
+        assert GF.div(a, a) == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            GF.div(5, 0)
+        with pytest.raises(ZeroDivisionError):
+            GF.inverse(0)
+
+    @given(nonzero, st.integers(min_value=0, max_value=300))
+    @settings(max_examples=100, deadline=None)
+    def test_pow_matches_repeated_mul(self, a, n):
+        expected = 1
+        for _ in range(n):
+            expected = GF.mul(expected, a)
+        assert GF.pow(a, n) == expected
+
+    def test_poly_eval_horner(self):
+        # p(x) = x^2 + 1 at x=2 -> 4 ^ 1 = 5 in GF(2^8)
+        assert GF.poly_eval([1, 0, 1], 2) == 5
+
+    @given(
+        st.lists(elements, min_size=1, max_size=6),
+        st.lists(elements, min_size=1, max_size=6),
+        elements,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_poly_mul_consistent_with_eval(self, p, q, x):
+        lhs = GF.poly_eval(GF.poly_mul(p, q), x)
+        rhs = GF.mul(GF.poly_eval(p, x), GF.poly_eval(q, x))
+        assert lhs == rhs
+
+
+class TestRSCodec:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RSCodec(nsym=0)
+        with pytest.raises(ValueError):
+            RSCodec(nsym=20, block=20)
+        with pytest.raises(ValueError):
+            RSCodec(nsym=10, block=300)
+
+    def test_overhead(self):
+        rs = RSCodec(nsym=32, block=255)
+        assert rs.payload_per_block == 223
+        assert rs.overhead == pytest.approx(255 / 223)
+
+    def test_clean_roundtrip(self):
+        rs = RSCodec(nsym=8, block=40)
+        data = bytes(range(32))
+        assert rs.decode(rs.encode(data)) == data
+
+    def test_encoded_is_systematic(self):
+        rs = RSCodec(nsym=8, block=40)
+        data = bytes(range(30))
+        assert rs.encode(data)[:30] == data
+
+    def test_corrects_up_to_t_errors(self):
+        rs = RSCodec(nsym=8, block=40)
+        data = bytes(range(32))
+        enc = bytearray(rs.encode(data))
+        for pos in (3, 17, 25, 39):  # 4 = nsym/2 errors
+            enc[pos] ^= 0x5A
+        assert rs.decode(bytes(enc)) == data
+
+    def test_fails_beyond_capacity(self):
+        rs = RSCodec(nsym=4, block=30)
+        data = bytes(range(26))
+        enc = bytearray(rs.encode(data))
+        for pos in (0, 5, 9, 14, 20):  # 5 > nsym/2 = 2
+            enc[pos] ^= 0xA5
+        with pytest.raises(RSDecodeError):
+            rs.decode(bytes(enc))
+
+    def test_oversized_block_rejected(self):
+        rs = RSCodec(nsym=8, block=20)
+        with pytest.raises(ValueError):
+            rs.encode_block(list(range(13)))
+
+    @given(
+        data=st.binary(min_size=1, max_size=300),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_with_random_correctable_errors(self, data, seed):
+        import random
+
+        rng = random.Random(seed)
+        rs = RSCodec(nsym=16, block=255)
+        enc = bytearray(rs.encode(data))
+        for off in range(0, len(enc), 255):
+            blk = min(255, len(enc) - off)
+            nerr = rng.randrange(0, 8 + 1)  # <= nsym/2
+            for pos in rng.sample(range(blk), min(nerr, blk)):
+                enc[off + pos] ^= rng.randrange(1, 256)
+        assert rs.decode(bytes(enc)) == data

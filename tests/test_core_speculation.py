@@ -1,0 +1,329 @@
+"""Speculative-execution machinery tests: squash correctness, transient
+side effects, fences, and nested mispredictions."""
+
+import pytest
+
+from repro.cpu.config import CPUConfig
+from repro.cpu.core import Core
+from repro.errors import SimFault
+from repro.isa import encodings as enc
+from repro.isa.assembler import Assembler
+from tests.conftest import build_core, run
+
+
+def mistrained_branch_program(asm):
+    """A victim whose bounds check is mistrained then bypassed.
+
+    ``main`` (r1=index): load size (flushable), cmp, jae out;
+    in-bounds path writes r9=1 and stores to a canary address.
+    """
+    asm.reserve("size", 8)
+    asm.reserve("canary", 8)
+    asm.label("main")
+    asm.emit(enc.mov_imm("r10", asm.resolve("size"), width=64))
+    asm.emit(enc.load("r3", "r10"))
+    asm.emit(enc.cmp_reg("r1", "r3"))
+    asm.emit(enc.jcc("ae", "oob"))
+    asm.emit(enc.mov_imm("r9", 1))
+    asm.emit(enc.mov_imm("r11", asm.resolve("canary"), width=64))
+    asm.emit(enc.mov_imm("r12", 0x77))
+    asm.emit(enc.store("r12", "r11"))
+    asm.label("oob")
+    asm.emit(enc.halt())
+    asm.align(64)
+    asm.label("flush_size")
+    asm.emit(enc.clflush("r10"))
+    asm.emit(enc.halt())
+
+
+class TestSquashRestoresArchitecture:
+    def _run_oob(self):
+        core = build_core(mistrained_branch_program, entry="main")
+        core.write_mem(core.addr_of("size"), 100)
+        # train in-bounds so 'jae' is predicted not-taken
+        for _ in range(4):
+            core.call("main", regs={"r1": 5, "r9": 0})
+        # training ran the in-bounds path architecturally: reset its
+        # legitimate side effects before the attack
+        core.write_mem(core.addr_of("canary"), 0)
+        # flush the bound so the check resolves late
+        core.call("flush_size")
+        core.call("main", regs={"r1": 500, "r9": 0})
+        return core
+
+    def test_wrong_path_register_write_rolled_back(self):
+        core = self._run_oob()
+        assert core.read_reg("r9") == 0
+        assert core.counters(0).branch_mispredicts >= 1
+        assert core.counters(0).squashes >= 1
+
+    def test_wrong_path_store_never_commits(self):
+        core = self._run_oob()
+        assert core.read_mem(core.addr_of("canary")) == 0
+
+    def test_squashed_uops_counted_not_retired(self):
+        core = self._run_oob()
+        counters = core.counters(0)
+        assert counters.squashed_uops > 0
+        assert counters.retired_uops > 0
+
+    def test_transient_uop_cache_fill_persists(self):
+        """The headline microarchitectural property: wrong-path fetch
+        fills the micro-op cache and the squash does not undo it."""
+        core = self._run_oob()
+        in_bounds_entry = None
+        # the in-bounds tail (r9=1 etc.) lives right after the jae;
+        # check some region beyond the branch is now resident
+        resident = core.uop_cache.resident_entries(0)
+        jae_end = None
+        for addr, instr in core.program.instructions.items():
+            if instr.mnemonic == "jae":
+                jae_end = instr.end
+        assert any(e >= core.addr_of("main") for e in resident)
+
+    def test_transient_data_load_warms_cache(self):
+        """Transient loads (issued before resolution) do update the
+        data hierarchy -- the Spectre property."""
+        def build(asm):
+            asm.reserve("size", 8)
+            asm.reserve("secretish", 64)
+            asm.label("main")
+            asm.emit(enc.mov_imm("r10", asm.resolve("size"), width=64))
+            asm.emit(enc.load("r3", "r10"))
+            asm.emit(enc.cmp_reg("r1", "r3"))
+            asm.emit(enc.jcc("ae", "oob"))
+            asm.emit(enc.mov_imm("r11", asm.resolve("secretish"), width=64))
+            asm.emit(enc.load("r4", "r11"))
+            asm.label("oob")
+            asm.emit(enc.halt())
+            asm.align(64)
+            asm.label("flush_size")
+            asm.emit(enc.clflush("r10"))
+            asm.emit(enc.halt())
+
+        core = build_core(build, entry="main")
+        core.write_mem(core.addr_of("size"), 100)
+        for _ in range(4):
+            core.call("main", regs={"r1": 5})
+        core.call("flush_size")
+        target = core.addr_of("secretish")
+        core.hierarchy.clflush(target)  # undo the training's warm-up
+        assert core.hierarchy.probe_data_latency(target) == \
+            core.hierarchy.dram_latency
+        core.call("main", regs={"r1": 500})
+        assert core.hierarchy.probe_data_latency(target) == \
+            core.hierarchy.l1d.latency
+
+
+class TestFetchSerialisation:
+    def _fence_program(self, fence):
+        def build(asm):
+            asm.reserve("size", 8)
+            asm.label("main")
+            asm.emit(enc.mov_imm("r10", asm.resolve("size"), width=64))
+            asm.emit(enc.load("r3", "r10"))
+            asm.emit(enc.cmp_reg("r1", "r3"))
+            asm.emit(enc.jcc("ae", "oob"))
+            if fence == "lfence":
+                asm.emit(enc.lfence())
+            elif fence == "cpuid":
+                asm.emit(enc.cpuid())
+            asm.emit(enc.jmp("landing"))
+            asm.label("oob")
+            asm.emit(enc.halt())
+            asm.org(0x41_0000)
+            asm.label("landing")
+            asm.emit(enc.nop(15), enc.nop(15), enc.nop(2))
+            asm.emit(enc.halt())
+            asm.org(0x42_0000)
+            asm.label("flush_size")
+            asm.emit(enc.clflush("r10"))
+            asm.emit(enc.halt())
+
+        return build
+
+    def _landing_fetched_transiently(self, fence) -> bool:
+        core = build_core(self._fence_program(fence), entry="main")
+        core.write_mem(core.addr_of("size"), 100)
+        for _ in range(4):
+            core.call("main", regs={"r1": 5})
+        core.flush_uop_cache()  # drop the training's footprint
+        core.call("flush_size")
+        core.call("main", regs={"r1": 500})
+        # did the transient path reach 'landing'?
+        return core.uop_cache.lookup(0, core.addr_of("landing")) is not None
+
+    def test_lfence_does_not_stop_fetch(self):
+        assert self._landing_fetched_transiently("lfence")
+
+    def test_no_fence_fetches(self):
+        assert self._landing_fetched_transiently("none")
+
+    def test_cpuid_stops_fetch(self):
+        assert not self._landing_fetched_transiently("cpuid")
+
+
+class TestSuppression:
+    def test_late_transient_load_never_touches_cache(self):
+        """A load whose execution would begin after the squashing
+        branch resolves must not perturb the data hierarchy (this is
+        why LFENCE defeats classic Spectre)."""
+        def build(asm):
+            asm.reserve("size", 8)
+            asm.reserve("probe_line", 64)
+            asm.label("main")
+            asm.emit(enc.mov_imm("r10", asm.resolve("size"), width=64))
+            asm.emit(enc.load("r3", "r10"))
+            asm.emit(enc.cmp_reg("r1", "r3"))
+            asm.emit(enc.jcc("ae", "oob"))
+            asm.emit(enc.lfence())  # delays the next load past resolve
+            asm.emit(enc.mov_imm("r11", asm.resolve("probe_line"), width=64))
+            asm.emit(enc.load("r4", "r11"))
+            asm.label("oob")
+            asm.emit(enc.halt())
+            asm.align(64)
+            asm.label("flush_size")
+            asm.emit(enc.clflush("r10"))
+            asm.emit(enc.halt())
+
+        core = build_core(build, entry="main")
+        core.write_mem(core.addr_of("size"), 100)
+        for _ in range(4):
+            core.call("main", regs={"r1": 5})
+        core.call("flush_size")
+        core.hierarchy.clflush(core.addr_of("probe_line"))
+        core.call("main", regs={"r1": 500})
+        assert core.hierarchy.probe_data_latency(core.addr_of("probe_line")) \
+            == core.hierarchy.dram_latency
+
+
+class TestNestedMisprediction:
+    def test_inner_resolution_redirects_within_outer_window(self):
+        """Variant-1's mechanism: an inner secret-dependent branch
+        resolves early and resteers transient fetch to the true path
+        while the outer bounds check is still pending."""
+        def build(asm):
+            asm.reserve("size", 8)
+            asm.reserve("bit", 8)
+            asm.label("main")
+            asm.emit(enc.mov_imm("r10", asm.resolve("size"), width=64))
+            asm.emit(enc.load("r3", "r10"))
+            asm.emit(enc.cmp_reg("r1", "r3"))
+            asm.emit(enc.jcc("ae", "oob"))
+            asm.emit(enc.mov_imm("r11", asm.resolve("bit"), width=64))
+            asm.emit(enc.load("r4", "r11"))
+            asm.emit(enc.test_reg("r4", "r4"))
+            asm.emit(enc.jcc("z", "path_zero"))
+            asm.emit(enc.jmp("path_one"))
+            asm.label("path_zero")
+            asm.emit(enc.nop(1))
+            asm.label("oob")
+            asm.emit(enc.halt())
+            asm.org(0x41_0000)
+            asm.label("path_one")
+            asm.emit(enc.nop(15), enc.nop(15), enc.nop(2))
+            asm.emit(enc.halt())
+            asm.org(0x42_0000)
+            asm.label("flush_size")
+            asm.emit(enc.clflush("r10"))
+            asm.emit(enc.halt())
+
+        core = build_core(build, entry="main")
+        core.write_mem(core.addr_of("size"), 100)
+        core.write_mem(core.addr_of("bit"), 1)
+        # train: in-bounds, with bit=0 so 'jz' is trained taken
+        core.write_mem(core.addr_of("bit"), 0)
+        for _ in range(4):
+            core.call("main", regs={"r1": 5})
+        core.write_mem(core.addr_of("bit"), 1)
+        core.call("main", regs={"r1": 5})  # warm the bit into L1
+        core.call("flush_size")
+        core.call("main", regs={"r1": 500})  # out of bounds
+        # transient fetch must have reached path_one despite jz's
+        # stale taken prediction
+        assert core.uop_cache.lookup(0, core.addr_of("path_one")) is not None
+        # and the architectural outcome is still the out-of-bounds halt
+        assert core.read_reg("r9") == 0
+
+
+class TestHaltAndFaults:
+    def test_transient_halt_does_not_stop_thread(self):
+        def build(asm):
+            asm.reserve("size", 8)
+            asm.label("main")
+            asm.emit(enc.mov_imm("r10", asm.resolve("size"), width=64))
+            asm.emit(enc.load("r3", "r10"))
+            asm.emit(enc.cmp_reg("r1", "r3"))
+            asm.emit(enc.jcc("ae", "oob"))
+            asm.emit(enc.halt())  # transient halt on the wrong path
+            asm.label("oob")
+            asm.emit(enc.mov_imm("r9", 42))
+            asm.emit(enc.halt())
+            asm.align(64)
+            asm.label("flush_size")
+            asm.emit(enc.clflush("r10"))
+            asm.emit(enc.halt())
+
+        core = build_core(build, entry="main")
+        core.write_mem(core.addr_of("size"), 100)
+        for _ in range(4):
+            core.call("main", regs={"r1": 5, "r9": 0})
+        core.call("flush_size")
+        core.call("main", regs={"r1": 500, "r9": 0})
+        # the committed path is oob: r9 == 42 despite the wrong-path halt
+        assert core.read_reg("r9") == 42
+
+    def test_architectural_wild_fetch_raises(self):
+        def build(asm):
+            asm.org(0x41_0000)
+            asm.label("nowhere_near")
+            asm.emit(enc.halt())
+            asm.org(0x40_0000)
+            asm.label("main")
+            asm.emit(enc.mov_imm("r5", 0x12345, width=64))
+            asm.emit(enc.jmp_ind("r5"))
+
+        core = build_core(build, entry="main")
+        with pytest.raises(SimFault):
+            core.call("main")
+
+    def test_runaway_guard(self):
+        def build(asm):
+            asm.label("main")
+            asm.label("spin")
+            asm.emit(enc.jmp("spin", short=True))
+
+        core = build_core(build, entry="main")
+        with pytest.raises(SimFault):
+            core.call("main", max_blocks=1000)
+
+
+class TestLoopExecution:
+    def test_loop_count_exact(self):
+        def build(asm):
+            asm.label("main")
+            asm.emit(enc.mov_imm("r1", 10))
+            asm.emit(enc.mov_imm("r2", 0))
+            asm.label("top")
+            asm.emit(enc.alu_imm("add", "r2", 3))
+            asm.emit(enc.dec("r1"))
+            asm.emit(enc.jcc("nz", "top"))
+            asm.emit(enc.halt())
+
+        core = run(build)
+        assert core.read_reg("r2") == 30
+        assert core.read_reg("r1") == 0
+
+    def test_final_iteration_mispredict_is_recovered(self):
+        def build(asm):
+            asm.label("main")
+            asm.emit(enc.mov_imm("r1", 5))
+            asm.label("top")
+            asm.emit(enc.dec("r1"))
+            asm.emit(enc.jcc("nz", "top"))
+            asm.emit(enc.mov_imm("r2", 99))
+            asm.emit(enc.halt())
+
+        core = run(build)
+        assert core.read_reg("r2") == 99
+        assert core.counters(0).branch_mispredicts >= 1

@@ -1,0 +1,56 @@
+"""Disassembler tests."""
+
+from repro.isa import encodings as enc
+from repro.isa.assembler import Assembler
+from repro.isa.disasm import disassemble, format_instruction
+
+
+def test_format_common_instructions():
+    cases = [
+        (enc.nop(5), "nop5"),
+        (enc.mov_imm("r1", 0x42), "mov r1, 0x42"),
+        (enc.alu("add", "r1", "r2"), "add r1, r2"),
+        (enc.cmp_imm("r1", 7), "cmp r1, 0x7"),
+        (enc.load("r3", "r9", index="r1", size=1), "movzx r3, byte"),
+        (enc.store("r2", "r9"), "mov [r9], r2"),
+        (enc.call_ind("r5"), "call r5"),
+        (enc.rdtsc("r8"), "rdtsc -> r8"),
+    ]
+    for instr, expected in cases:
+        instr.bind(0x1000)
+        assert expected in format_instruction(instr)
+
+
+def test_branch_targets_use_labels():
+    asm = Assembler()
+    asm.label("main")
+    asm.emit(enc.jmp("exit"))
+    asm.label("exit")
+    asm.emit(enc.halt())
+    prog = asm.assemble()
+    listing = disassemble(prog)
+    assert "jmp exit" in listing
+    assert "main:" in listing
+    assert "exit:" in listing
+
+
+def test_markers_and_ranges():
+    asm = Assembler()
+    asm.label("a")
+    asm.emit(enc.cpuid())
+    asm.emit(enc.pause())
+    asm.emit(enc.halt())
+    prog = asm.assemble()
+    listing = disassemble(prog)
+    assert "msrom" in listing
+    assert "uncacheable" in listing
+    # range filtering
+    partial = disassemble(prog, start=prog.addr_of("a") + 2)
+    assert "cpuid" not in partial
+
+
+def test_lcp_annotation():
+    asm = Assembler()
+    asm.emit(enc.nop(5, lcp=2))
+    asm.emit(enc.halt())
+    assert "lcp x2" in disassemble(asm.assemble())

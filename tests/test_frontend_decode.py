@@ -1,0 +1,93 @@
+"""Legacy decode pipeline cost model tests."""
+
+import pytest
+
+from repro.cpu.config import CPUConfig
+from repro.frontend.decode import decode_cost, effective_msrom, predecode_cost
+from repro.isa import encodings as enc
+
+
+SKL = CPUConfig.skylake()
+ZEN = CPUConfig.zen()
+
+
+class TestEffectiveMsrom:
+    def test_architecturally_microcoded(self):
+        assert effective_msrom(enc.cpuid(), SKL)
+        assert effective_msrom(enc.syscall(), SKL)
+
+    def test_width_threshold_differs_by_style(self):
+        rdtsc = enc.rdtsc()  # 2 uops
+        assert not effective_msrom(rdtsc, SKL)  # 1:4 decoder handles it
+        assert not effective_msrom(rdtsc, ZEN)  # 1:2 decoder handles it
+
+        class Fake:
+            msrom = False
+            uop_count = 3
+
+        assert not effective_msrom(Fake(), SKL)
+        assert effective_msrom(Fake(), ZEN)
+
+
+class TestDecodeCostSkylake:
+    def test_five_simple_per_cycle(self):
+        macros = [enc.nop(1) for _ in range(5)]
+        assert decode_cost(macros, SKL).cycles == 1
+
+    def test_six_simple_take_two_cycles(self):
+        macros = [enc.nop(1) for _ in range(6)]
+        assert decode_cost(macros, SKL).cycles == 2
+
+    def test_one_complex_per_cycle(self):
+        # two 2-uop instructions cannot share the single complex decoder
+        macros = [enc.rdtsc("r0"), enc.rdtsc("r1")]
+        assert decode_cost(macros, SKL).cycles == 2
+
+    def test_uop_width_cap(self):
+        # complex(2) + 4 simple = 6 uops > 5/cycle cap
+        macros = [enc.rdtsc("r0")] + [enc.nop(1)] * 4
+        result = decode_cost(macros, SKL)
+        assert result.cycles == 2
+        assert result.mite_uops == 6
+
+    def test_msrom_sequences_alone(self):
+        macros = [enc.nop(1), enc.cpuid(), enc.nop(1)]
+        result = decode_cost(macros, SKL)
+        assert result.msrom_uops == enc.cpuid().uop_count
+        assert result.mite_uops == 2
+        assert result.cycles >= 1 + SKL.msrom_min_cycles + 1
+
+    def test_empty_still_costs_a_cycle(self):
+        assert decode_cost([], SKL).cycles == 1
+
+
+class TestDecodeCostZen:
+    def test_four_macros_per_cycle(self):
+        macros = [enc.nop(1) for _ in range(4)]
+        assert decode_cost(macros, ZEN).cycles == 1
+        macros = [enc.nop(1) for _ in range(5)]
+        assert decode_cost(macros, ZEN).cycles == 2
+
+    def test_wide_instruction_goes_to_ucode(self):
+        class Fake3:
+            msrom = False
+            uop_count = 3
+            mnemonic = "fake"
+
+        result = decode_cost([Fake3()], ZEN)
+        assert result.msrom_uops == 3
+        assert result.mite_uops == 0
+
+
+class TestPredecode:
+    def test_sixteen_bytes_per_cycle(self):
+        assert predecode_cost(16, 0, SKL) == 1
+        assert predecode_cost(17, 0, SKL) == 2
+        assert predecode_cost(32, 0, SKL) == 2
+
+    def test_lcp_penalty(self):
+        base = predecode_cost(32, 0, SKL)
+        assert predecode_cost(32, 3, SKL) == base + 3 * SKL.lcp_penalty
+
+    def test_minimum_one_cycle(self):
+        assert predecode_cost(0, 0, SKL) == 1

@@ -1,0 +1,129 @@
+"""Unit tests for every instruction template."""
+
+import pytest
+
+from repro.isa import encodings as enc
+from repro.isa.instruction import BranchKind, UopKind
+
+
+class TestNop:
+    @pytest.mark.parametrize("length", range(1, 16))
+    def test_all_lengths(self, length):
+        macro = enc.nop(length)
+        assert macro.length == length
+        assert macro.uop_count == 1
+        assert macro.uops[0].kind is UopKind.NOP
+
+    def test_lcp(self):
+        assert enc.nop(5, lcp=2).lcp_count == 2
+        assert enc.nop(5).lcp_count == 0
+
+
+class TestMovImm:
+    def test_imm64_takes_two_slots(self):
+        macro = enc.mov_imm("r1", 0xDEADBEEF, width=64)
+        assert macro.length == 10
+        assert macro.uop_count == 1
+        assert macro.slot_count == 2
+
+    def test_imm32_takes_one_slot(self):
+        macro = enc.mov_imm("r1", 7, width=32)
+        assert macro.slot_count == 1
+
+    def test_rejects_other_widths(self):
+        with pytest.raises(ValueError):
+            enc.mov_imm("r1", 1, width=16)
+
+
+class TestControlFlow:
+    def test_jmp_forms(self):
+        assert enc.jmp("x").length == 5
+        assert enc.jmp("x", short=True).length == 2
+        assert enc.jmp("x").branch_kind is BranchKind.JMP
+        assert enc.jmp("x").target_label == "x"
+
+    def test_jcc(self):
+        macro = enc.jcc("nz", "top")
+        assert macro.branch_kind is BranchKind.JCC
+        assert macro.uops[0].cond == "nz"
+
+    def test_call_ret(self):
+        call = enc.call("f")
+        assert call.branch_kind is BranchKind.CALL
+        assert call.uops[0].base == "rsp"
+        ret = enc.ret()
+        assert ret.branch_kind is BranchKind.RET
+        assert ret.length == 1
+
+    def test_indirects(self):
+        ci = enc.call_ind("r5")
+        assert ci.branch_kind is BranchKind.CALL_IND
+        assert ci.uops[0].srcs == ("r5",)
+        ji = enc.jmp_ind("r6")
+        assert ji.branch_kind is BranchKind.JMP_IND
+
+
+class TestSerialising:
+    def test_cpuid_is_msrom(self):
+        macro = enc.cpuid()
+        assert macro.msrom
+        assert macro.uop_count > 4
+        assert macro.uops[0].kind is UopKind.CPUID
+
+    def test_lfence(self):
+        macro = enc.lfence()
+        assert macro.uops[0].kind is UopKind.LFENCE
+        assert not macro.msrom
+
+    def test_pause_not_cacheable(self):
+        assert not enc.pause().cacheable
+        assert enc.nop().cacheable
+
+    def test_syscall_sysret(self):
+        assert enc.syscall().branch_kind is BranchKind.SYSCALL
+        assert enc.syscall().msrom
+        assert enc.sysret().branch_kind is BranchKind.SYSRET
+
+
+class TestMemoryOps:
+    def test_load_fields(self):
+        macro = enc.load("r1", "r2", index="r3", scale=4, disp=16, size=1)
+        uop = macro.uops[0]
+        assert uop.kind is UopKind.LOAD
+        assert (uop.base, uop.index, uop.scale, uop.disp) == ("r2", "r3", 4, 16)
+        assert uop.mem_size == 1
+
+    def test_store_fields(self):
+        macro = enc.store("r7", "r2", disp=-8)
+        uop = macro.uops[0]
+        assert uop.kind is UopKind.STORE
+        assert uop.srcs == ("r7",)
+        assert uop.disp == -8
+
+    def test_clflush(self):
+        macro = enc.clflush("r1", disp=64)
+        assert macro.uops[0].kind is UopKind.CLFLUSH
+
+
+class TestAlu:
+    @pytest.mark.parametrize("op", ["add", "sub", "and", "or", "xor"])
+    def test_reg_reg(self, op):
+        macro = enc.alu(op, "r1", "r2")
+        assert macro.uops[0].alu_op == op
+        assert macro.uops[0].sets_flags
+
+    def test_dec_is_sub_one(self):
+        macro = enc.dec("r3")
+        uop = macro.uops[0]
+        assert uop.alu_op == "sub"
+        assert uop.imm == 1
+
+    def test_cmp_variants(self):
+        assert enc.cmp_imm("r1", 5).uops[0].imm == 5
+        assert enc.cmp_reg("r1", "r2").uops[0].srcs == ("r1", "r2")
+
+    def test_rdtsc(self):
+        macro = enc.rdtsc("r9")
+        assert macro.uops[0].kind is UopKind.RDTSC
+        assert macro.uops[0].dst == "r9"
+        assert macro.uop_count == 2  # complex decode

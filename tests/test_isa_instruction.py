@@ -1,0 +1,97 @@
+"""Unit tests for the macro-op/micro-op model."""
+
+import pytest
+
+from repro.isa.instruction import (
+    BranchKind,
+    MacroOp,
+    MicroOp,
+    UopKind,
+    region_of,
+)
+
+
+class TestMicroOp:
+    def test_default_single_slot(self):
+        uop = MicroOp(UopKind.NOP)
+        assert uop.slots == 1
+        assert not uop.is_branch
+        assert not uop.is_unconditional
+
+    def test_branch_classification(self):
+        assert MicroOp(UopKind.JCC, cond="z").is_branch
+        assert not MicroOp(UopKind.JCC, cond="z").is_unconditional
+        for kind in (UopKind.JMP, UopKind.JMP_IND, UopKind.CALL,
+                     UopKind.CALL_IND, UopKind.RET):
+            uop = MicroOp(kind)
+            assert uop.is_branch
+            assert uop.is_unconditional
+
+    def test_load_reads_base_and_index(self):
+        uop = MicroOp(UopKind.LOAD, dst="r1", base="r2", index="r3")
+        assert set(uop.reads()) == {"r2", "r3"}
+        assert uop.writes() == ("r1",)
+
+    def test_jcc_reads_flags(self):
+        uop = MicroOp(UopKind.JCC, cond="nz")
+        assert "flags" in uop.reads()
+
+    def test_alu_sets_flags_writes(self):
+        uop = MicroOp(UopKind.ALU, dst="r1", srcs=("r1", "r2"),
+                      alu_op="add", sets_flags=True)
+        assert set(uop.writes()) == {"r1", "flags"}
+
+    def test_store_reads_sources_and_address(self):
+        uop = MicroOp(UopKind.STORE, srcs=("r4",), base="r5", disp=8)
+        assert set(uop.reads()) == {"r4", "r5"}
+        assert uop.writes() == ()
+
+
+class TestMacroOp:
+    def test_length_bounds(self):
+        with pytest.raises(ValueError):
+            MacroOp("bad", length=0, uops=(MicroOp(UopKind.NOP),))
+        with pytest.raises(ValueError):
+            MacroOp("bad", length=16, uops=(MicroOp(UopKind.NOP),))
+
+    def test_needs_uops(self):
+        with pytest.raises(ValueError):
+            MacroOp("bad", length=1, uops=())
+
+    def test_slot_count_counts_double_slots(self):
+        macro = MacroOp(
+            "movabs",
+            length=10,
+            uops=(MicroOp(UopKind.MOV_IMM, dst="r0", imm=1, slots=2),),
+        )
+        assert macro.uop_count == 1
+        assert macro.slot_count == 2
+
+    def test_bind_stamps_uops(self):
+        uops = (MicroOp(UopKind.NOP), MicroOp(UopKind.NOP))
+        macro = MacroOp("nop2x", length=4, uops=uops)
+        macro.bind(0x1000)
+        assert macro.addr == 0x1000
+        assert macro.end == 0x1004
+        for uop in macro.uops:
+            assert uop.macro_addr == 0x1000
+            assert uop.macro_len == 4
+
+    def test_is_control(self):
+        jmp = MacroOp("jmp", length=5, branch_kind=BranchKind.JMP,
+                      uops=(MicroOp(UopKind.JMP),))
+        assert jmp.is_control
+        nop = MacroOp("nop", length=1, uops=(MicroOp(UopKind.NOP),))
+        assert not nop.is_control
+
+
+class TestRegionOf:
+    @pytest.mark.parametrize(
+        "addr,expected",
+        [(0, 0), (31, 0), (32, 32), (0x400013, 0x400000), (0x40003F, 0x400020)],
+    )
+    def test_alignment(self, addr, expected):
+        assert region_of(addr) == expected
+
+    def test_custom_region_size(self):
+        assert region_of(100, region_bytes=64) == 64

@@ -1,0 +1,213 @@
+"""Tests for caches, main memory, the TLB, and the hierarchy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.mainmem import MainMemory
+from repro.memory.tlb import TLB
+
+
+class TestCache:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache("bad", sets=3, ways=2)
+        with pytest.raises(ValueError):
+            Cache("bad", sets=4, ways=0)
+        with pytest.raises(ValueError):
+            Cache("bad", sets=4, ways=2, line_size=48)
+
+    def test_miss_then_hit(self):
+        cache = Cache("t", sets=4, ways=2)
+        assert not cache.lookup(0x100)
+        cache.fill(0x100)
+        assert cache.lookup(0x100)
+        assert cache.stats.refs == 2
+        assert cache.stats.misses == 1
+
+    def test_same_line_aliases(self):
+        cache = Cache("t", sets=4, ways=2, line_size=64)
+        cache.fill(0x100)
+        assert cache.lookup(0x13F)  # same 64-byte line
+        assert not cache.lookup(0x140)
+
+    def test_lru_eviction_order(self):
+        cache = Cache("t", sets=1, ways=2, line_size=64)
+        cache.fill(0x000)
+        cache.fill(0x040)
+        cache.lookup(0x000)  # make 0x000 most recent
+        victim = cache.fill(0x080)
+        assert victim == 0x040
+
+    def test_evict_hook_fires(self):
+        evicted = []
+        cache = Cache("t", sets=1, ways=1, line_size=64,
+                      on_evict=evicted.append)
+        cache.fill(0x000)
+        cache.fill(0x040)
+        assert evicted == [0x000]
+
+    def test_invalidate(self):
+        cache = Cache("t", sets=4, ways=2)
+        cache.fill(0x100)
+        assert cache.invalidate(0x100)
+        assert not cache.probe(0x100)
+        assert not cache.invalidate(0x100)
+
+    def test_flush_clears_everything(self):
+        cache = Cache("t", sets=4, ways=2)
+        for i in range(8):
+            cache.fill(i * 64)
+        cache.flush()
+        assert cache.occupancy() == 0
+
+    def test_probe_does_not_perturb(self):
+        cache = Cache("t", sets=1, ways=2, line_size=64)
+        cache.fill(0x000)
+        cache.fill(0x040)
+        refs = cache.stats.refs
+        cache.probe(0x000)  # must NOT refresh LRU or count a ref
+        assert cache.stats.refs == refs
+        victim = cache.fill(0x080)
+        assert victim == 0x000
+
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 16), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        cache = Cache("t", sets=4, ways=2, line_size=64)
+        for addr in addrs:
+            if not cache.lookup(addr):
+                cache.fill(addr)
+            assert cache.occupancy() <= 8
+
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 12), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_most_recent_fill_always_resident(self, addrs):
+        cache = Cache("t", sets=2, ways=2, line_size=64)
+        for addr in addrs:
+            cache.fill(addr)
+            assert cache.probe(addr)
+
+
+class TestMainMemory:
+    def test_sparse_zero_default(self):
+        mem = MainMemory()
+        assert mem.read(0x12345, 8) == 0
+
+    def test_little_endian_roundtrip(self):
+        mem = MainMemory()
+        mem.write(0x100, 0x0123456789ABCDEF, 8)
+        assert mem.read(0x100, 8) == 0x0123456789ABCDEF
+        assert mem.read(0x100, 1) == 0xEF
+        assert mem.read(0x107, 1) == 0x01
+
+    def test_partial_overwrite(self):
+        mem = MainMemory()
+        mem.write(0x100, 0xFFFFFFFFFFFFFFFF, 8)
+        mem.write(0x102, 0x00, 1)
+        assert mem.read(0x100, 8) == 0xFFFFFFFFFF00FFFF
+
+    def test_load_image(self):
+        mem = MainMemory()
+        mem.load_image(0x200, b"\x01\x02\x03")
+        assert mem.read_bytes(0x200, 3) == b"\x01\x02\x03"
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=0, max_value=255),
+            max_size=64,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_reference_model(self, writes):
+        mem = MainMemory()
+        for addr, val in writes.items():
+            mem.write(addr, val, 1)
+        for addr, val in writes.items():
+            assert mem.read(addr, 1) == val
+
+
+class TestTLB:
+    def test_miss_costs_walk(self):
+        tlb = TLB(entries=2, walk_latency=30)
+        assert tlb.access(0x1000) == 30
+        assert tlb.access(0x1234) == 0  # same page
+
+    def test_capacity_lru(self):
+        tlb = TLB(entries=2)
+        tlb.access(0x0000)
+        tlb.access(0x1000)
+        tlb.access(0x0000)  # refresh page 0
+        tlb.access(0x2000)  # evicts page 1
+        assert tlb.access(0x0500) == 0
+        assert tlb.access(0x1800) == tlb.walk_latency
+
+    def test_flush_triggers_callback(self):
+        fired = []
+        tlb = TLB(on_flush=lambda: fired.append(True))
+        tlb.access(0x1000)
+        tlb.flush()
+        assert fired == [True]
+        assert tlb.access(0x1000) == tlb.walk_latency
+
+
+class TestHierarchy:
+    def test_latency_ordering(self):
+        h = MemoryHierarchy()
+        first = h.access_data(0x1000)
+        assert first.level == "DRAM"
+        second = h.access_data(0x1000)
+        assert second.level == "L1"
+        assert second.latency < first.latency
+
+    def test_fill_propagates_down(self):
+        h = MemoryHierarchy()
+        h.access_data(0x1000)
+        assert h.l1d.probe(0x1000)
+        assert h.l2.probe(0x1000)
+        assert h.llc.probe(0x1000)
+
+    def test_clflush_removes_everywhere(self):
+        h = MemoryHierarchy()
+        h.access_data(0x1000)
+        h.clflush(0x1000)
+        assert not h.l1d.probe(0x1000)
+        assert not h.l2.probe(0x1000)
+        assert not h.llc.probe(0x1000)
+        assert h.access_data(0x1000).level == "DRAM"
+
+    def test_llc_back_invalidates_l1(self):
+        h = MemoryHierarchy()
+        h.access_data(0x1000)
+        h.llc.invalidate(0x1000)
+        assert not h.l1d.probe(0x1000)
+
+    def test_l1i_evict_hook(self):
+        evicted = []
+        h = MemoryHierarchy(on_l1i_evict=evicted.append)
+        h.access_inst(0x1000)
+        h.l1i.invalidate(0x1000)
+        assert 0x1000 in evicted
+
+    def test_inst_and_data_paths_are_split(self):
+        h = MemoryHierarchy()
+        h.access_inst(0x1000)
+        assert h.l1i.probe(0x1000)
+        assert not h.l1d.probe(0x1000)
+
+    def test_itlb_miss_adds_latency(self):
+        h = MemoryHierarchy()
+        warm = h.access_inst(0x1000)  # walks the page
+        h.l1i.invalidate(0x1000)
+        h.l2.invalidate(0x1000)
+        h.llc.invalidate(0x1000)
+        cold_tlb_hit = h.access_inst(0x1000)
+        assert warm.latency > cold_tlb_hit.latency  # first had the walk
+
+    def test_probe_data_latency_is_passive(self):
+        h = MemoryHierarchy()
+        assert h.probe_data_latency(0x1000) == h.dram_latency
+        h.access_data(0x1000)
+        assert h.probe_data_latency(0x1000) == h.l1d.latency

@@ -1,0 +1,50 @@
+"""Timing-harness classifier tests."""
+
+import pytest
+
+from repro.core.timing import ProbeTiming, TimingClassifier
+
+
+class TestProbeTiming:
+    def test_statistics(self):
+        t = ProbeTiming(hit_times=[10, 12, 14], miss_times=[100, 110, 90])
+        assert t.hit_mean == 12
+        assert t.miss_mean == 100
+        assert t.delta == 88
+        assert t.threshold == 56
+        assert t.separable
+
+    def test_not_separable_when_overlapping(self):
+        t = ProbeTiming(hit_times=[10, 95], miss_times=[90, 100])
+        assert not t.separable
+
+    def test_single_sample_sd(self):
+        t = ProbeTiming(hit_times=[10], miss_times=[100])
+        assert t.delta_sd == 0.0
+
+
+class TestClassifier:
+    def test_threshold_decision(self):
+        c = TimingClassifier(threshold=50)
+        assert c.classify_bit(80) == 1
+        assert c.classify_bit(20) == 0
+        assert c.is_miss(51)
+        assert not c.is_miss(50)
+
+    def test_from_timing(self):
+        t = ProbeTiming([10, 10], [90, 90])
+        assert TimingClassifier.from_timing(t).threshold == 50
+
+    def test_majority_vote(self):
+        c = TimingClassifier(threshold=50)
+        assert c.vote([80, 80, 20]) == 1
+        assert c.vote([20, 20, 80]) == 0
+
+    def test_tie_falls_back_to_mean(self):
+        c = TimingClassifier(threshold=50)
+        assert c.vote([95, 20]) == 1  # mean 57.5 > 50
+        assert c.vote([60, 10]) == 0  # mean 35 < 50
+
+    def test_empty_vote_rejected(self):
+        with pytest.raises(ValueError):
+            TimingClassifier(50).vote([])

@@ -1,0 +1,171 @@
+"""Placement-rule tests (Section II-B), including property tests over
+randomly composed regions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import encodings as enc
+from repro.uopcache.placement import build_lines
+
+
+def _bound(macros, base=0x1000):
+    addr = base
+    for m in macros:
+        m.bind(addr)
+        addr += m.length
+    return macros
+
+
+class TestBasicPacking:
+    def test_six_uops_fill_one_line(self):
+        macros = _bound([enc.nop(1) for _ in range(6)])
+        lines = build_lines(macros)
+        assert len(lines) == 1
+        assert lines[0].slots == 6
+
+    def test_seventh_uop_opens_second_line(self):
+        macros = _bound([enc.nop(1) for _ in range(7)])
+        lines = build_lines(macros)
+        assert len(lines) == 2
+        assert lines[0].slots == 6
+        assert lines[1].slots == 1
+
+    def test_max_three_lines_per_region(self):
+        macros = _bound([enc.nop(1) for _ in range(18)])
+        assert len(build_lines(macros)) == 3
+        macros = _bound([enc.nop(1) for _ in range(19)])
+        assert build_lines(macros) is None  # rule 1: not cacheable
+
+    def test_empty_region_uncacheable(self):
+        assert build_lines([]) is None
+
+
+class TestRule64BitImmediates:
+    def test_imm64_consumes_two_slots(self):
+        macros = _bound([enc.mov_imm("r1", 1, width=64) for _ in range(3)])
+        lines = build_lines(macros)
+        assert len(lines) == 1
+        assert lines[0].slots == 6
+        # a fourth 2-slot op no longer fits the line
+        macros = _bound([enc.mov_imm("r1", 1, width=64) for _ in range(4)])
+        assert len(build_lines(macros)) == 2
+
+
+class TestRuleNoSpanning:
+    def test_macro_uops_never_split_across_lines(self):
+        # five 1-uop nops then one 2-uop rdtsc: 5 + 2 > 6 so the rdtsc
+        # must move entirely to line 2.
+        macros = _bound([enc.nop(1)] * 5 + [enc.rdtsc("r0")])
+        lines = build_lines(macros)
+        assert len(lines) == 2
+        assert lines[0].slots == 5
+        assert lines[1].slots == 2
+
+
+class TestRuleJumpTerminatesLine:
+    def test_unconditional_jump_is_last_uop(self):
+        macros = _bound([enc.nop(1), enc.jmp("x"), enc.nop(1)])
+        macros[1].target = 0x9000
+        lines = build_lines(macros)
+        assert len(lines) == 2
+        assert lines[0].uops[-1].is_unconditional
+        assert lines[0].slots == 2
+
+    def test_conditional_branch_does_not_terminate(self):
+        macros = _bound([enc.nop(1), enc.jcc("z", "x"), enc.nop(1)])
+        lines = build_lines(macros)
+        assert len(lines) == 1
+
+
+class TestRuleTwoBranchesPerLine:
+    def test_third_branch_opens_new_line(self):
+        macros = _bound([enc.jcc("z", "a"), enc.jcc("nz", "b"),
+                         enc.jcc("z", "c")])
+        lines = build_lines(macros)
+        assert len(lines) == 2
+        branches_in_first = sum(1 for u in lines[0].uops if u.is_branch)
+        assert branches_in_first == 2
+
+
+class TestRuleMSROM:
+    def test_msrom_takes_whole_line(self):
+        macros = _bound([enc.nop(1), enc.cpuid(), enc.nop(1)])
+        lines = build_lines(macros)
+        assert len(lines) == 3
+        assert lines[1].msrom
+
+    def test_msrom_alone(self):
+        lines = build_lines(_bound([enc.syscall()]))
+        assert len(lines) == 1
+        assert lines[0].msrom
+
+
+class TestRulePause:
+    def test_pause_region_not_cached(self):
+        assert build_lines(_bound([enc.pause()])) is None
+        assert build_lines(_bound([enc.nop(1), enc.pause()])) is None
+
+
+@st.composite
+def region_macros(draw):
+    """Random (bound) cacheable macro-op sequences <= 32 bytes."""
+    choices = draw(
+        st.lists(
+            st.sampled_from(["nop1", "nop2", "imm64", "jcc", "jmp", "alu"]),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    macros = []
+    total = 0
+    for c in choices:
+        if c == "nop1":
+            m = enc.nop(1)
+        elif c == "nop2":
+            m = enc.nop(2)
+        elif c == "imm64":
+            m = enc.mov_imm("r1", 1, width=64)
+        elif c == "jcc":
+            m = enc.jcc("z", "t", short=True)
+        elif c == "jmp":
+            m = enc.jmp("t", short=True)
+        else:
+            m = enc.alu("add", "r1", "r2")
+        if total + m.length > 32:
+            break
+        macros.append(m)
+        total += m.length
+        if c == "jmp":
+            break  # walk would stop here anyway
+    if not macros:
+        macros = [enc.nop(1)]
+    return _bound(macros)
+
+
+@given(region_macros())
+@settings(max_examples=200, deadline=None)
+def test_packing_invariants(macros):
+    """Every packed region obeys all placement rules."""
+    lines = build_lines(macros)
+    if lines is None:
+        total_slots = sum(m.slot_count for m in macros)
+        # only over-capacity or uncacheable content may be rejected
+        assert total_slots > 0
+        return
+    assert 1 <= len(lines) <= 3
+    all_uops = [u for line in lines for u in line.uops]
+    assert all_uops == [u for m in macros for u in m.uops]
+    for line in lines:
+        if line.msrom:
+            continue
+        assert line.slots <= 6
+        branches = sum(1 for u in line.uops if u.is_branch)
+        assert branches <= 2
+        for uop in line.uops[:-1]:
+            assert not uop.is_unconditional
+        # no macro spans a line boundary
+        macro_addrs_here = {u.macro_addr for u in line.uops}
+        for m in macros:
+            if m.addr in macro_addrs_here:
+                uops_here = [u for u in line.uops if u.macro_addr == m.addr]
+                assert len(uops_here) == m.uop_count
