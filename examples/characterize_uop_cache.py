@@ -16,11 +16,11 @@ def ascii_bar(value, scale=1.0, width=40):
     return "#" * n
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true",
                         help="coarser sweeps (roughly 4x faster)")
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
     step = 32 if args.fast else 16
 
     print("=== Figure 3a: micro-op cache size ===")

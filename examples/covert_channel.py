@@ -24,8 +24,9 @@ def report(name, rep, timing):
           f"{rep.total_cycles} simulated cycles")
 
 
-def main():
-    message = (sys.argv[1] if len(sys.argv) > 1 else "I see dead uops").encode()
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    message = (argv[0] if argv else "I see dead uops").encode()
     noise = NoiseModel(evict_prob=0.005, jitter_sd=15.0, seed=1)
 
     print("=== same-address-space tiger/zebra channel ===")

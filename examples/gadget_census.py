@@ -17,8 +17,9 @@ from repro.core.gadgets import GadgetKind, generate_corpus, scan
 from repro.isa.disasm import disassemble
 
 
-def main():
-    functions = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    functions = int(argv[0]) if argv else 200
     corpus = generate_corpus(functions=functions)
     print(f"corpus: {functions} functions, "
           f"{len(corpus.instructions)} instructions, "

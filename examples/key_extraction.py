@@ -21,8 +21,9 @@ from repro.core.keyextract import MODULUS, KeyExtractor
 from repro.cpu.config import CPUConfig
 
 
-def main():
-    nbits = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    nbits = int(argv[0]) if argv else 12
     rng = random.Random(2021)
     key = (1 << (nbits - 1)) | rng.getrandbits(nbits - 1)
 

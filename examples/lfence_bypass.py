@@ -11,7 +11,7 @@ Run:  python examples/lfence_bypass.py
 from repro.core.transient import LfenceBypass
 
 
-def main():
+def main(argv=None):
     attack = LfenceBypass()
     print("victim: authorization check, then `call fun[secret]()`")
     print("training: legitimate authorised calls encode the secret-")

@@ -16,7 +16,7 @@ from repro.core.mitigations import (
 )
 
 
-def main():
+def main(argv=None):
     print("=== user/kernel channel vs mitigations ===")
     outcomes = evaluate_crossdomain_mitigations(b"\xa5\x5a")
     baseline_cycles = outcomes[0].kernel_cycles

@@ -25,7 +25,7 @@ def build_program():
     return asm.assemble(entry="main")
 
 
-def main():
+def main(argv=None):
     core = Core(CPUConfig.skylake(), build_program())
 
     cold = core.call("main")

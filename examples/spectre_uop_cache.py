@@ -12,8 +12,9 @@ import sys
 from repro.core.transient import ClassicSpectreV1, UopCacheSpectreV1
 
 
-def main():
-    secret = (sys.argv[1] if len(sys.argv) > 1 else "uops!").encode()
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else list(argv)
+    secret = (argv[0] if argv else "uops!").encode()
 
     print(f"victim secret: {secret!r}")
     print("\n=== micro-op cache Spectre (variant-1) ===")

@@ -10,43 +10,81 @@ experiments are runnable without writing any code:
 - ``census``        -- gadget census (Section VI-A)
 - ``mitigations``   -- Section VIII countermeasures
 - ``workloads``     -- benign suite with DSB hit rates
+
+Batch orchestration (``repro.harness``):
+
+- ``batch``         -- run an experiment as a parallel, cached job grid
+- ``cache``         -- inspect / clear the content-addressed result store
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
-
-
-def _cmd_characterize(args: argparse.Namespace) -> int:
-    from examples import characterize_uop_cache  # noqa: F401  (docs)
-    sys.argv = ["characterize"] + (["--fast"] if args.fast else [])
-    _load_example("characterize_uop_cache").main()
-    return 0
+from typing import List, Optional
 
 
 def _load_example(name: str):
-    """Import an example script as a module (examples/ is not a
-    package; load by path)."""
+    """Import an example script as a module (``examples/`` is not a
+    package; load by path).
+
+    Only works from a source checkout: the scripts live next to
+    ``src/``, not inside the installed package.  Fails with a clear
+    message -- instead of an opaque ``AttributeError`` -- when the
+    layout does not match (e.g. a wheel install).
+    """
     import importlib.util
     import pathlib
 
     path = pathlib.Path(__file__).resolve().parents[2] / "examples" / f"{name}.py"
+    if not path.is_file():
+        raise SystemExit(
+            f"example script not found: {path}\n"
+            f"'python -m repro' example commands need a source checkout "
+            f"(the examples/ directory is not installed). Clone the "
+            f"repository, or use the self-contained 'batch' subcommand."
+        )
     spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise SystemExit(f"cannot load example script {path}")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
 
 
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    if args.json:
+        # Machine-readable path: run the same sweeps through the
+        # harness (serially, uncached) and write one JSON document.
+        from repro.harness import outcome_records, write_json
+        from repro.harness.experiments import run_characterize
+
+        figures, outcomes, summary = run_characterize(fast=args.fast)
+        print(f"characterization study: {len(figures)} figures, "
+              f"{len(outcomes)} measurement points")
+        path = write_json(args.json, {
+            "experiment": "characterize",
+            "fast": args.fast,
+            "points": outcome_records(outcomes),
+        })
+        print(summary.format())
+        print(f"wrote {path}")
+        return 0
+    argv = ["--fast"] if args.fast else []
+    _load_example("characterize_uop_cache").main(argv)
+    return 0
+
+
 def _cmd_covert(args: argparse.Namespace) -> int:
-    sys.argv = ["covert"] + ([args.message] if args.message else [])
-    _load_example("covert_channel").main()
+    _load_example("covert_channel").main(
+        [args.message] if args.message else []
+    )
     return 0
 
 
 def _cmd_spectre(args: argparse.Namespace) -> int:
-    sys.argv = ["spectre"] + ([args.secret] if args.secret else [])
-    _load_example("spectre_uop_cache").main()
+    _load_example("spectre_uop_cache").main(
+        [args.secret] if args.secret else []
+    )
     return 0
 
 
@@ -56,8 +94,7 @@ def _cmd_lfence(_args: argparse.Namespace) -> int:
 
 
 def _cmd_census(args: argparse.Namespace) -> int:
-    sys.argv = ["census", str(args.functions)]
-    _load_example("gadget_census").main()
+    _load_example("gadget_census").main([str(args.functions)])
     return 0
 
 
@@ -66,24 +103,181 @@ def _cmd_mitigations(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_rows(results) -> List[dict]:
+    rows = []
+    for name, r in results.items():
+        rows.append({
+            "name": name,
+            "cycles": r["cycles"] if isinstance(r, dict) else r.cycles,
+            "ipc": r["ipc"] if isinstance(r, dict) else r.ipc,
+            "dsb_hit_rate": (
+                r["dsb_hit_rate"] if isinstance(r, dict) else r.dsb_hit_rate
+            ),
+            "dsb_uop_fraction": (
+                r["dsb_uop_fraction"] if isinstance(r, dict)
+                else r.dsb_uop_fraction
+            ),
+            "mispredict_rate": (
+                r["mispredict_rate"] if isinstance(r, dict)
+                else r.mispredict_rate
+            ),
+        })
+    return rows
+
+
+def _print_workload_table(config, rows) -> None:
+    print(f"workload suite on {config.name} "
+          f"({config.uop_cache_capacity}-uop cache):")
+    print(f"{'workload':16s} {'cycles':>9s} {'IPC':>6s} {'DSB hit':>9s} "
+          f"{'DSB uops':>9s} {'mispred':>8s}")
+    for row in rows:
+        print(f"{row['name']:16s} {row['cycles']:9d} {row['ipc']:6.2f} "
+              f"{row['dsb_hit_rate'] * 100:8.1f}% "
+              f"{row['dsb_uop_fraction'] * 100:8.1f}% "
+              f"{row['mispredict_rate'] * 100:7.1f}%")
+    avg = sum(row["dsb_hit_rate"] for row in rows) / len(rows)
+    print(f"\nmean DSB hit rate: {avg * 100:.1f}% "
+          "(paper cites ~80% average, ~100% for hotspots)")
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     from repro.cpu.config import CPUConfig
     from repro.workloads import run_suite
 
     config = getattr(CPUConfig, args.cpu)()
-    print(f"workload suite on {config.name} "
-          f"({config.uop_cache_capacity}-uop cache):")
-    print(f"{'workload':16s} {'cycles':>9s} {'IPC':>6s} {'DSB hit':>9s} "
-          f"{'DSB uops':>9s} {'mispred':>8s}")
     results = run_suite(config, scale=args.scale)
-    for name, r in results.items():
-        print(f"{name:16s} {r.cycles:9d} {r.ipc:6.2f} "
-              f"{r.dsb_hit_rate * 100:8.1f}% "
-              f"{r.dsb_uop_fraction * 100:8.1f}% "
-              f"{r.mispredict_rate * 100:7.1f}%")
-    avg = sum(r.dsb_hit_rate for r in results.values()) / len(results)
-    print(f"\nmean DSB hit rate: {avg * 100:.1f}% "
-          "(paper cites ~80% average, ~100% for hotspots)")
+    rows = _workload_rows(results)
+    _print_workload_table(config, rows)
+    if args.json:
+        from repro.harness import write_json
+
+        path = write_json(args.json, {
+            "experiment": "workloads",
+            "cpu": args.cpu,
+            "scale": args.scale,
+            "workloads": rows,
+        })
+        print(f"wrote {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Batch harness
+
+
+def _make_cache(args: argparse.Namespace):
+    from repro.harness import ResultCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(args.cache_dir)  # None root -> default location
+
+
+def _runner_kwargs(args: argparse.Namespace) -> dict:
+    return dict(
+        workers=args.jobs,
+        cache=_make_cache(args),
+        timeout=args.timeout,
+        retries=args.retries,
+        refresh=args.refresh,
+    )
+
+
+def _export_artifacts(args: argparse.Namespace, experiment: str, outcomes,
+                      summary) -> None:
+    from repro.harness import outcome_records, write_csv, write_json, write_jsonl
+
+    records = outcome_records(outcomes)
+    if args.jsonl:
+        print(f"wrote {write_jsonl(args.jsonl, records)}")
+    if args.csv:
+        print(f"wrote {write_csv(args.csv, records)}")
+    if args.json:
+        print(f"wrote {write_json(args.json, {'experiment': experiment, 'points': records})}")
+
+
+def _batch_characterize(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import run_characterize
+
+    figures, outcomes, summary = run_characterize(
+        fast=args.fast, **_runner_kwargs(args)
+    )
+    fig3a = figures["fig3a_size"]
+    fig3b = figures["fig3b_associativity"]
+    fig6 = figures["fig6_smt"]
+    geo = figures["fig7_geometry"]
+    print("characterization study (Figures 3-7):")
+    print(f"  fig3a: capacity knee at {fig3a.knee()} regions "
+          f"({len(fig3a.x)} points; paper: 256 lines)")
+    print(f"  fig3b: associativity knee at {fig3b.knee()} ways "
+          f"({len(fig3b.x)} points; paper: 8 ways)")
+    print(f"  fig4:  {sum(len(s) for s in figures['fig4_placement'].dsb_uops.values())} "
+          "placement cells")
+    print(f"  fig5:  {len(figures['fig5_replacement'].main_iters)}x"
+          f"{len(figures['fig5_replacement'].evict_iters)} replacement matrix")
+    print(f"  fig6:  SMT knee {fig6.knee_smt()} vs single-thread "
+          f"{fig6.knee_single()} regions (static partitioning)")
+    print(f"  fig7:  max cross-thread contention "
+          f"t1={max(geo.sweep_t1_mite):.1f}, t2={max(geo.sweep_t2_mite):.1f}")
+    _export_artifacts(args, "characterize", outcomes, summary)
+    print(summary.format())
+    return 0
+
+
+def _batch_covert(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import run_table1
+
+    payload = (args.payload or "uop cache leaks!").encode()
+    rows, outcomes, summary = run_table1(payload, **_runner_kwargs(args))
+    print("Table I -- bandwidth and error rate (simulated):")
+    print(f"  {'Mode':32s} {'BitErr':>8s} {'Kbit/s':>10s} {'w/ECC':>10s}")
+    for row in rows:
+        print("  " + row.format())
+    _export_artifacts(args, "covert", outcomes, summary)
+    print(summary.format())
+    return 0
+
+
+def _batch_workloads(args: argparse.Namespace) -> int:
+    from repro.cpu.config import CPUConfig
+    from repro.harness.experiments import run_workloads
+
+    config = getattr(CPUConfig, args.cpu)()
+    results, outcomes, summary = run_workloads(
+        config=config, scale=args.scale, **_runner_kwargs(args)
+    )
+    _print_workload_table(config, _workload_rows(results))
+    _export_artifacts(args, "workloads", outcomes, summary)
+    print(summary.format())
+    return 0
+
+
+_BATCH_EXPERIMENTS = {
+    "characterize": _batch_characterize,
+    "covert": _batch_covert,
+    "workloads": _batch_workloads,
+}
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        return _BATCH_EXPERIMENTS[args.experiment](args)
+    except RuntimeError as exc:
+        # Job failures (timeouts, exhausted retries) arrive here with
+        # the first failing job's label and error already formatted.
+        print(f"batch {args.experiment} failed: {exc}")
+        return 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.harness import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        print(cache.stats().format())
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
     return 0
 
 
@@ -97,6 +291,9 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("characterize", help="Figures 3-7")
     p.add_argument("--fast", action="store_true")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write machine-readable results (runs via "
+                        "the harness)")
     p.set_defaults(fn=_cmd_characterize)
 
     p = sub.add_parser("covert", help="Section V covert channels")
@@ -121,7 +318,51 @@ def main(argv=None) -> int:
     p.add_argument("--cpu", default="skylake",
                    choices=["skylake", "zen", "zen2", "sunny_cove"])
     p.add_argument("--scale", type=int, default=1)
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write machine-readable results")
     p.set_defaults(fn=_cmd_workloads)
+
+    p = sub.add_parser(
+        "batch",
+        help="run an experiment as a parallel, cached job grid",
+        description="Expand an experiment into a job grid, answer "
+                    "already-computed points from the content-addressed "
+                    "cache, and fan the rest out over worker processes.",
+    )
+    p.add_argument("experiment", nargs="?", default="characterize",
+                   choices=sorted(_BATCH_EXPERIMENTS))
+    p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                   help="worker processes (1 = serial in-process)")
+    p.add_argument("--fast", action="store_true",
+                   help="coarser sweeps (characterize)")
+    p.add_argument("--cpu", default="skylake",
+                   choices=["skylake", "zen", "zen2", "sunny_cove"],
+                   help="CPU preset (workloads)")
+    p.add_argument("--scale", type=int, default=1, help="(workloads)")
+    p.add_argument("--payload", default=None, help="(covert)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result store location (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="neither read nor write the result store")
+    p.add_argument("--refresh", action="store_true",
+                   help="recompute everything, then update the store")
+    p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                   help="per-job wall-clock budget")
+    p.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="extra attempts for transient failures")
+    p.add_argument("--jsonl", metavar="PATH", default=None,
+                   help="write per-point results as JSON lines")
+    p.add_argument("--csv", metavar="PATH", default=None,
+                   help="write per-point results as CSV")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write per-point results as one JSON document")
+    p.set_defaults(fn=_cmd_batch)
+
+    p = sub.add_parser("cache", help="inspect/clear the result store")
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--cache-dir", default=None, metavar="DIR")
+    p.set_defaults(fn=_cmd_cache)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -96,6 +96,115 @@ class PartitionGeometryResult:
 
 
 # ----------------------------------------------------------------------
+# Per-point kernels
+#
+# Each figure's sweep is a pure function of (config, point params); the
+# kernels below measure exactly one point.  The serial ``measure_*``
+# sweeps and the parallel harness jobs (``repro.harness.experiments``)
+# both call these, so the two paths produce identical numbers by
+# construction.
+
+
+def size_point(config: CPUConfig, n: int, iters: int) -> float:
+    """Legacy-decode uops/iter for one Listing-1 loop size."""
+    core = Core(config, microbench.size_loop(n, iters))
+    core.call("main")  # warm
+    delta = core.call("main")
+    return delta.uops_legacy / iters
+
+
+def associativity_point(config: CPUConfig, n: int, iters: int) -> float:
+    """Legacy-decode uops/iter for ``n`` same-set regions (Listing 2)."""
+    core = Core(config, microbench.assoc_loop(n, iters))
+    core.call("main")
+    delta = core.call("main")
+    return delta.uops_legacy / iters
+
+
+def placement_point(
+    config: CPUConfig, nregions: int, uops: int, iters: int
+) -> float:
+    """DSB uops/iter for one (region count, uops/region) cell."""
+    prog = microbench.placement_loop(nregions, uops - 1, iters)
+    core = Core(config, prog)
+    core.call("main")
+    delta = core.call("main")
+    return delta.uops_dsb / iters
+
+
+def replacement_point(
+    config: CPUConfig, main_iters: int, evict_iters: int, rounds: int
+) -> float:
+    """Steady-state DSB uops per main pass for one (M, E) cell of the
+    Figure 5 interleaving matrix."""
+    core = Core(config, microbench.replacement_pair())
+    total = 0
+    measured = 0
+    for r in range(rounds):
+        for _ in range(main_iters):
+            delta = core.call("main_0")
+            if r >= rounds // 2:
+                total += delta.uops_dsb
+                measured += 1
+        for _ in range(evict_iters):
+            core.call("ev_0")
+    return total / measured
+
+
+def smt_partitioning_point(
+    config: CPUConfig, n: int, iters: int, t2_kind: str = "pause"
+) -> Dict[str, float]:
+    """Single-thread and SMT legacy uops/iter for one loop size."""
+    prog = microbench.smt_pair(n, iters, t2_kind=t2_kind)
+    core = Core(config, prog)
+    core.call("t1")
+    delta = core.call("t1")
+    single = delta.uops_legacy / iters
+
+    # steady state in SMT mode: difference between a long and a
+    # short run cancels the cold-start fills.
+    prog_long = microbench.smt_pair(n, iters * 2, t2_kind=t2_kind)
+    d1_long, _ = Core(config, prog_long).run_smt(("t1", "t2"))
+    d1_short, _ = Core(config, prog).run_smt(("t1", "t2"))
+    smt = (d1_long.uops_legacy - d1_short.uops_legacy) / iters
+    return {"single": single, "smt": smt}
+
+
+def geometry_sweep_point(
+    config: CPUConfig, set_index: int, iters: int
+) -> Dict[str, float]:
+    """Figure 7a: T1 at ``set_index`` vs T2 hammering set 0."""
+    prog = microbench.partition_probe_pair(t1_set=set_index, iters=iters)
+    prog_long = microbench.partition_probe_pair(
+        t1_set=set_index, iters=iters * 2
+    )
+    d1_long, d2_long = Core(config, prog_long).run_smt(("t1", "t2"))
+    d1_short, d2_short = Core(config, prog).run_smt(("t1", "t2"))
+    return {
+        "t1": (d1_long.uops_legacy - d1_short.uops_legacy) / iters,
+        "t2": (d2_long.uops_legacy - d2_short.uops_legacy) / iters,
+    }
+
+
+def geometry_groups_point(
+    config: CPUConfig, n_groups: int, iters: int
+) -> Dict[str, float]:
+    """Figure 7b: stream ``n_groups`` 8-way groups, single vs SMT."""
+    prog = microbench.eight_block_regions(n_groups, iters)
+    core = Core(config, prog)
+    core.call("main")
+    delta = core.call("main")
+    single = delta.uops_legacy / iters
+
+    asm_prog = _dual_groups(n_groups, iters)
+    long_prog = _dual_groups(n_groups, iters * 2)
+    d1_long, _ = Core(config, long_prog).run_smt(("t1", "t2"))
+    d1_short, _ = Core(config, asm_prog).run_smt(("t1", "t2"))
+    smt = (d1_long.uops_legacy - d1_short.uops_legacy) / iters
+    return {"single": single, "smt": smt}
+
+
+# ----------------------------------------------------------------------
 # Figure 3a -- size
 
 
@@ -107,12 +216,7 @@ def measure_size(
     """Sweep the Listing 1 loop size; the y-axis jumps once the loop
     exceeds the cache's 256 lines."""
     config = config or CPUConfig.skylake()
-    ys = []
-    for n in sizes:
-        core = Core(config, microbench.size_loop(n, iters))
-        core.call("main")  # warm
-        delta = core.call("main")
-        ys.append(delta.uops_legacy / iters)
+    ys = [size_point(config, n, iters) for n in sizes]
     return SeriesResult(
         list(sizes), ys, "32-byte regions in loop", "legacy-decode uops/iter"
     )
@@ -130,12 +234,7 @@ def measure_associativity(
     """Sweep same-set regions (Listing 2); the y-axis rises past the
     8-way associativity."""
     config = config or CPUConfig.skylake()
-    ys = []
-    for n in ways:
-        core = Core(config, microbench.assoc_loop(n, iters))
-        core.call("main")
-        delta = core.call("main")
-        ys.append(delta.uops_legacy / iters)
+    ys = [associativity_point(config, n, iters) for n in ways]
     return SeriesResult(
         list(ways), ys, "same-set regions in loop", "legacy-decode uops/iter"
     )
@@ -159,14 +258,10 @@ def measure_placement(
         dsb_uops={},
     )
     for nregions in region_counts:
-        series = []
-        for uops in uop_counts:
-            prog = microbench.placement_loop(nregions, uops - 1, iters)
-            core = Core(config, prog)
-            core.call("main")
-            delta = core.call("main")
-            series.append(delta.uops_dsb / iters)
-        result.dsb_uops[nregions] = series
+        result.dsb_uops[nregions] = [
+            placement_point(config, nregions, uops, iters)
+            for uops in uop_counts
+        ]
     return result
 
 
@@ -183,24 +278,10 @@ def measure_replacement(
     """Interleave the main and evicting loops (both 8 ways of set 0)
     and measure the main loop's DSB delivery in steady state."""
     config = config or CPUConfig.skylake()
-    prog = microbench.replacement_pair()
-    matrix: List[List[float]] = []
-    for m in main_iters:
-        row = []
-        for e in evict_iters:
-            core = Core(config, prog)
-            total = 0
-            measured = 0
-            for r in range(rounds):
-                for _ in range(m):
-                    delta = core.call("main_0")
-                    if r >= rounds // 2:
-                        total += delta.uops_dsb
-                        measured += 1
-                for _ in range(e):
-                    core.call("ev_0")
-            row.append(total / measured)
-        matrix.append(row)
+    matrix: List[List[float]] = [
+        [replacement_point(config, m, e, rounds) for e in evict_iters]
+        for m in main_iters
+    ]
     return ReplacementResult(list(main_iters), list(evict_iters), matrix)
 
 
@@ -220,18 +301,9 @@ def measure_smt_partitioning(
     config = config or CPUConfig.skylake()
     single, smt = [], []
     for n in sizes:
-        prog = microbench.smt_pair(n, iters, t2_kind=t2_kind)
-        core = Core(config, prog)
-        core.call("t1")
-        delta = core.call("t1")
-        single.append(delta.uops_legacy / iters)
-
-        # steady state in SMT mode: difference between a long and a
-        # short run cancels the cold-start fills.
-        prog_long = microbench.smt_pair(n, iters * 2, t2_kind=t2_kind)
-        d1_long, _ = Core(config, prog_long).run_smt(("t1", "t2"))
-        d1_short, _ = Core(config, prog).run_smt(("t1", "t2"))
-        smt.append((d1_long.uops_legacy - d1_short.uops_legacy) / iters)
+        point = smt_partitioning_point(config, n, iters, t2_kind)
+        single.append(point["single"])
+        smt.append(point["smt"])
     return SMTPartitionResult(list(sizes), single, smt)
 
 
@@ -252,26 +324,15 @@ def measure_partition_geometry(
     config = config or CPUConfig.skylake()
     sweep_t1, sweep_t2 = [], []
     for s in sweep_sets:
-        prog = microbench.partition_probe_pair(t1_set=s, iters=iters)
-        prog_long = microbench.partition_probe_pair(t1_set=s, iters=iters * 2)
-        d1_long, d2_long = Core(config, prog_long).run_smt(("t1", "t2"))
-        d1_short, d2_short = Core(config, prog).run_smt(("t1", "t2"))
-        sweep_t1.append((d1_long.uops_legacy - d1_short.uops_legacy) / iters)
-        sweep_t2.append((d2_long.uops_legacy - d2_short.uops_legacy) / iters)
+        point = geometry_sweep_point(config, s, iters)
+        sweep_t1.append(point["t1"])
+        sweep_t2.append(point["t2"])
 
     groups_single, groups_smt = [], []
     for n in group_counts:
-        prog = microbench.eight_block_regions(n, iters)
-        core = Core(config, prog)
-        core.call("main")
-        delta = core.call("main")
-        groups_single.append(delta.uops_legacy / iters)
-
-        asm_prog = _dual_groups(n, iters)
-        long_prog = _dual_groups(n, iters * 2)
-        d1_long, _ = Core(config, long_prog).run_smt(("t1", "t2"))
-        d1_short, _ = Core(config, asm_prog).run_smt(("t1", "t2"))
-        groups_smt.append((d1_long.uops_legacy - d1_short.uops_legacy) / iters)
+        point = geometry_groups_point(config, n, iters)
+        groups_single.append(point["single"])
+        groups_smt.append(point["smt"])
     return PartitionGeometryResult(
         list(sweep_sets), sweep_t1, sweep_t2,
         list(group_counts), groups_single, groups_smt,

@@ -46,6 +46,45 @@ def _row(mode: str, report: ChannelReport, ecc_overhead: float = 1.2) -> Table1R
     return Table1Row(mode, report.error_rate, report.bandwidth_kbps, corrected)
 
 
+#: Table I channel modes, in the paper's row order.
+TABLE1_MODES = (
+    "Same address space",
+    "Same address space (User/Kernel)",
+    "Cross-thread (SMT)",
+    "Transient Execution Attack",
+)
+
+
+def table1_row(
+    mode: str,
+    payload: bytes = b"uop cache leaks!",
+    noise: Optional[NoiseModel] = None,
+    noise_seed: int = 17,
+) -> Table1Row:
+    """Regenerate one mode of Table I.
+
+    Each row is an independent experiment (its own channel instance and
+    noise stream), which is what lets the batch harness compute the
+    four rows in parallel while matching :func:`table1` exactly.
+    """
+    if noise is None:
+        noise = NoiseModel(evict_prob=0.01, jitter_sd=25.0, seed=noise_seed)
+    if mode == "Same address space":
+        chan = CovertChannel(ChannelParams(), noise=noise)
+        return _row(mode, chan.transmit(payload))
+    if mode == "Same address space (User/Kernel)":
+        xdom = CrossDomainChannel(CrossDomainParams(), noise=noise)
+        return _row(mode, xdom.transmit(payload))
+    if mode == "Cross-thread (SMT)":
+        smt = SMTChannel(SMTChannelParams(), noise=noise)
+        return _row(mode, smt.transmit(payload))
+    if mode == "Transient Execution Attack":
+        attack = UopCacheSpectreV1(secret=payload, noise=noise)
+        stats = attack.leak()
+        return _row(mode, attack.channel_report(stats))
+    raise ValueError(f"unknown Table I mode {mode!r}; choose from {TABLE1_MODES}")
+
+
 def table1(
     payload: bytes = b"uop cache leaks!",
     noise: Optional[NoiseModel] = None,
@@ -57,27 +96,10 @@ def table1(
     realistic (the simulator is otherwise deterministic and error-free;
     see DESIGN.md).
     """
-
-    def make_noise() -> NoiseModel:
-        if noise is not None:
-            return noise
-        return NoiseModel(evict_prob=0.01, jitter_sd=25.0, seed=noise_seed)
-
-    rows = []
-
-    chan = CovertChannel(ChannelParams(), noise=make_noise())
-    rows.append(_row("Same address space", chan.transmit(payload)))
-
-    xdom = CrossDomainChannel(CrossDomainParams(), noise=make_noise())
-    rows.append(_row("Same address space (User/Kernel)", xdom.transmit(payload)))
-
-    smt = SMTChannel(SMTChannelParams(), noise=make_noise())
-    rows.append(_row("Cross-thread (SMT)", smt.transmit(payload)))
-
-    attack = UopCacheSpectreV1(secret=payload, noise=make_noise())
-    stats = attack.leak()
-    rows.append(_row("Transient Execution Attack", attack.channel_report(stats)))
-    return rows
+    return [
+        table1_row(mode, payload, noise=noise, noise_seed=noise_seed)
+        for mode in TABLE1_MODES
+    ]
 
 
 @dataclass

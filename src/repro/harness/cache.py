@@ -1,0 +1,179 @@
+"""Content-addressed on-disk result store.
+
+Layout (all JSON, human-inspectable)::
+
+    <root>/objects/<key[:2]>/<key>.json
+
+where ``key`` is the job's content hash (:meth:`repro.harness.job.Job.key`).
+Because the schema version is baked into the hash, a version bump
+simply stops finding old entries; :meth:`ResultCache.get` additionally
+verifies the stored schema/key so a corrupt or foreign file degrades
+to a miss, never to a wrong result.
+
+Writes are atomic (temp file in the destination directory, then
+``os.replace``), so concurrent writers -- e.g. two batch runs sharing
+a cache -- can only ever race to install identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.harness.job import CACHE_SCHEMA_VERSION, canonical_json
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``$REPRO_CACHE_DIR``, else
+    ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Summary of what the store currently holds."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+    def format(self) -> str:
+        """One-line human rendering."""
+        kib = self.total_bytes / 1024
+        return (
+            f"{self.entries} cached result(s), {kib:.1f} KiB "
+            f"under {self.root} (schema v{CACHE_SCHEMA_VERSION})"
+        )
+
+
+class ResultCache:
+    """Content-addressed JSON blob store keyed by job hash."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    @property
+    def objects_dir(self) -> Path:
+        """Directory holding the sharded result blobs."""
+        return self.root / "objects"
+
+    def path_for(self, key: str) -> Path:
+        """Blob path for a job hash."""
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """Cached result for ``key``, or ``None`` on any kind of miss
+        (absent, unreadable, wrong schema, wrong key)."""
+        path = self.path_for(key)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        if record.get("key") != key:
+            return None
+        if "result" not in record:
+            return None
+        return record["result"]
+
+    def put(self, key: str, fn: str, result: Any) -> Path:
+        """Atomically store ``result`` under ``key``.
+
+        The record is canonical JSON of deterministic fields only, so
+        the same job always produces a byte-identical blob regardless
+        of which process or machine computed it.
+        """
+        record = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "fn": fn,
+            "result": result,
+        }
+        blob = canonical_json(record)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    # ------------------------------------------------------------------
+
+    def _blobs(self):
+        if not self.objects_dir.is_dir():
+            return
+        for shard in sorted(self.objects_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for blob in sorted(shard.glob("*.json")):
+                yield blob
+
+    def stats(self) -> CacheStats:
+        """Entry count and on-disk footprint."""
+        entries = 0
+        total = 0
+        for blob in self._blobs():
+            try:
+                total += blob.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return CacheStats(str(self.root), entries, total)
+
+    def clear(self) -> int:
+        """Delete every stored result; returns how many were removed."""
+        removed = 0
+        for blob in list(self._blobs()):
+            try:
+                blob.unlink()
+            except OSError:
+                continue
+            removed += 1
+        if self.objects_dir.is_dir():
+            for shard in list(self.objects_dir.iterdir()):
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+
+class NullCache:
+    """Cache stand-in that never hits and never stores (``--no-cache``)."""
+
+    def get(self, key: str):  # noqa: D102 -- trivial
+        return None
+
+    def put(self, key: str, fn: str, result: Any):  # noqa: D102
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return False

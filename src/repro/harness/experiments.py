@@ -1,0 +1,410 @@
+"""Built-in experiment catalogue for the batch harness.
+
+Registers one job function per *measurement point* of the headline
+experiments -- the Section III characterization figures (3-7), the
+Table I covert-channel comparison, and the benign workload suite --
+and provides drivers that expand the paper's sweeps into job grids,
+run them through :func:`repro.harness.executor.run_jobs`, and
+reassemble the exact result objects the serial ``measure_*`` /
+``table1`` / ``run_suite`` paths return.
+
+Every job function delegates to the same per-point kernel the serial
+path uses (``repro.core.characterize.size_point`` &c), so the two
+paths agree bit-for-bit; the parity tests in
+``tests/test_harness_parity.py`` enforce that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import characterize, microbench
+from repro.core.characterize import (
+    PartitionGeometryResult,
+    PlacementResult,
+    ReplacementResult,
+    SeriesResult,
+    SMTPartitionResult,
+)
+from repro.cpu.config import CPUConfig
+from repro.harness.executor import JobOutcome, RunSummary, run_jobs
+from repro.harness.job import register
+from repro.harness.sweep import Sweep
+
+# ----------------------------------------------------------------------
+# Characterization point jobs (Figures 3-7)
+
+
+@register(
+    "characterize.size",
+    program_builder=lambda c, p: microbench.size_loop(p["n"], p["iters"]),
+)
+def _job_size(config: CPUConfig, seed: int, n: int, iters: int) -> float:
+    return characterize.size_point(config, n, iters)
+
+
+@register(
+    "characterize.associativity",
+    program_builder=lambda c, p: microbench.assoc_loop(p["n"], p["iters"]),
+)
+def _job_assoc(config: CPUConfig, seed: int, n: int, iters: int) -> float:
+    return characterize.associativity_point(config, n, iters)
+
+
+@register(
+    "characterize.placement",
+    program_builder=lambda c, p: microbench.placement_loop(
+        p["nregions"], p["uops"] - 1, p["iters"]
+    ),
+)
+def _job_placement(
+    config: CPUConfig, seed: int, nregions: int, uops: int, iters: int
+) -> float:
+    return characterize.placement_point(config, nregions, uops, iters)
+
+
+@register(
+    "characterize.replacement",
+    program_builder=lambda c, p: microbench.replacement_pair(),
+)
+def _job_replacement(
+    config: CPUConfig, seed: int, main_iters: int, evict_iters: int,
+    rounds: int,
+) -> float:
+    return characterize.replacement_point(config, main_iters, evict_iters, rounds)
+
+
+@register(
+    "characterize.smt_partitioning",
+    program_builder=lambda c, p: microbench.smt_pair(
+        p["n"], p["iters"], t2_kind=p["t2_kind"]
+    ),
+)
+def _job_smt(
+    config: CPUConfig, seed: int, n: int, iters: int, t2_kind: str
+) -> Dict[str, float]:
+    return characterize.smt_partitioning_point(config, n, iters, t2_kind)
+
+
+@register(
+    "characterize.geometry_sweep",
+    program_builder=lambda c, p: microbench.partition_probe_pair(
+        t1_set=p["set_index"], iters=p["iters"]
+    ),
+)
+def _job_geometry_sweep(
+    config: CPUConfig, seed: int, set_index: int, iters: int
+) -> Dict[str, float]:
+    return characterize.geometry_sweep_point(config, set_index, iters)
+
+
+@register(
+    "characterize.geometry_groups",
+    program_builder=lambda c, p: microbench.eight_block_regions(
+        p["n_groups"], p["iters"]
+    ),
+)
+def _job_geometry_groups(
+    config: CPUConfig, seed: int, n_groups: int, iters: int
+) -> Dict[str, float]:
+    return characterize.geometry_groups_point(config, n_groups, iters)
+
+
+# ----------------------------------------------------------------------
+# Table I rows
+
+
+@register("covert.table1_row")
+def _job_table1_row(
+    config: CPUConfig, seed: int, mode: str, payload_hex: str
+) -> Dict[str, Any]:
+    # Imported lazily: report pulls in every channel implementation,
+    # which worker processes only need when they actually run this job.
+    from repro.core.report import table1_row
+
+    row = table1_row(mode, bytes.fromhex(payload_hex), noise_seed=seed)
+    return {
+        "mode": row.mode,
+        "error_rate": row.error_rate,
+        "bandwidth_kbps": row.bandwidth_kbps,
+        "corrected_bandwidth_kbps": row.corrected_bandwidth_kbps,
+    }
+
+
+# ----------------------------------------------------------------------
+# Workload suite
+
+
+def _workload_program(config: CPUConfig, params) -> Any:
+    from repro.workloads.suite import build_workload
+
+    return build_workload(params["name"], params["scale"])
+
+
+@register("workloads.run", program_builder=_workload_program)
+def _job_workload(
+    config: CPUConfig, seed: int, name: str, scale: int
+) -> Dict[str, Any]:
+    from repro.workloads.suite import run_workload
+
+    result = run_workload(name, config, scale)
+    return {
+        "name": result.name,
+        "cycles": result.cycles,
+        "ipc": result.ipc,
+        "dsb_hit_rate": result.dsb_hit_rate,
+        "dsb_uop_fraction": result.dsb_uop_fraction,
+        "mispredict_rate": result.mispredict_rate,
+        "counters": result.counters.as_dict(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Characterization driver
+
+
+def characterize_sweeps(
+    config: Optional[CPUConfig] = None, fast: bool = False
+) -> Dict[str, Sweep]:
+    """The Figure 3-7 grids, in figure order.
+
+    ``fast`` matches ``python -m repro characterize --fast`` (the
+    example script's coarser sweeps); the default matches its full
+    resolution.  Both use the same per-point kernels as the serial
+    path, so results are identical point-for-point.
+    """
+    config = config or CPUConfig.skylake()
+    step = 32 if fast else 16
+    smt_step = 64 if fast else 32
+    return {
+        "fig3a_size": Sweep(
+            "characterize.size",
+            axes={"n": list(range(step, 385, step))},
+            base={"iters": 8},
+            config=config,
+        ),
+        "fig3b_associativity": Sweep(
+            "characterize.associativity",
+            axes={"n": list(range(1, 15))},
+            base={"iters": 8},
+            config=config,
+        ),
+        "fig4_placement": Sweep(
+            "characterize.placement",
+            axes={"nregions": [2, 4, 8], "uops": list(range(2, 25, 2))},
+            base={"iters": 8},
+            config=config,
+        ),
+        "fig5_replacement": Sweep(
+            "characterize.replacement",
+            axes={
+                "main_iters": [1, 2, 4, 8, 12],
+                "evict_iters": [0, 2, 4, 8, 12],
+            },
+            base={"rounds": 10},
+            config=config,
+        ),
+        "fig6_smt": Sweep(
+            "characterize.smt_partitioning",
+            axes={"n": list(range(64, 289, smt_step))},
+            base={"iters": 8, "t2_kind": "pause"},
+            config=config,
+        ),
+        "fig7_sweep": Sweep(
+            "characterize.geometry_sweep",
+            axes={"set_index": list(range(0, 32, 8))},
+            base={"iters": 8},
+            config=config,
+        ),
+        "fig7_groups": Sweep(
+            "characterize.geometry_groups",
+            axes={"n_groups": [8, 16, 20, 32, 36]},
+            base={"iters": 8},
+            config=config,
+        ),
+    }
+
+
+def assemble_characterize(
+    sweeps: Dict[str, Sweep], results: Dict[str, List[Any]]
+) -> Dict[str, Any]:
+    """Rebuild the serial-path result dataclasses from per-point
+    results (one flat list per sweep, in grid order)."""
+    figures: Dict[str, Any] = {}
+
+    s = sweeps["fig3a_size"]
+    figures["fig3a_size"] = SeriesResult(
+        list(s.axes["n"]), results["fig3a_size"],
+        "32-byte regions in loop", "legacy-decode uops/iter",
+    )
+
+    s = sweeps["fig3b_associativity"]
+    figures["fig3b_associativity"] = SeriesResult(
+        list(s.axes["n"]), results["fig3b_associativity"],
+        "same-set regions in loop", "legacy-decode uops/iter",
+    )
+
+    s = sweeps["fig4_placement"]
+    regions = list(s.axes["nregions"])
+    uop_counts = list(s.axes["uops"])
+    flat = results["fig4_placement"]
+    figures["fig4_placement"] = PlacementResult(
+        regions=regions,
+        uops_per_region=uop_counts,
+        dsb_uops={
+            n: flat[i * len(uop_counts):(i + 1) * len(uop_counts)]
+            for i, n in enumerate(regions)
+        },
+    )
+
+    s = sweeps["fig5_replacement"]
+    mains = list(s.axes["main_iters"])
+    evicts = list(s.axes["evict_iters"])
+    flat = results["fig5_replacement"]
+    figures["fig5_replacement"] = ReplacementResult(
+        mains, evicts,
+        [flat[i * len(evicts):(i + 1) * len(evicts)] for i in range(len(mains))],
+    )
+
+    s = sweeps["fig6_smt"]
+    points = results["fig6_smt"]
+    figures["fig6_smt"] = SMTPartitionResult(
+        list(s.axes["n"]),
+        [p["single"] for p in points],
+        [p["smt"] for p in points],
+    )
+
+    sweep_points = results["fig7_sweep"]
+    group_points = results["fig7_groups"]
+    figures["fig7_geometry"] = PartitionGeometryResult(
+        list(sweeps["fig7_sweep"].axes["set_index"]),
+        [p["t1"] for p in sweep_points],
+        [p["t2"] for p in sweep_points],
+        list(sweeps["fig7_groups"].axes["n_groups"]),
+        [p["single"] for p in group_points],
+        [p["smt"] for p in group_points],
+    )
+    return figures
+
+
+def run_characterize(
+    config: Optional[CPUConfig] = None,
+    fast: bool = False,
+    **runner_kwargs,
+) -> Tuple[Dict[str, Any], List[JobOutcome], RunSummary]:
+    """Run the full Figure 3-7 study through the harness.
+
+    Every point of every figure goes into one job list, so a parallel
+    run keeps all workers busy across figure boundaries instead of
+    draining per figure.  Returns ``(figures, outcomes, summary)``
+    where ``figures`` holds the same dataclasses the serial
+    ``measure_*`` functions produce.
+    """
+    sweeps = characterize_sweeps(config, fast)
+    jobs, spans = [], {}
+    for name, sweep in sweeps.items():
+        batch = sweep.jobs()
+        spans[name] = (len(jobs), len(jobs) + len(batch))
+        jobs.extend(batch)
+
+    outcomes, summary = run_jobs(jobs, **runner_kwargs)
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        first = failures[0]
+        raise RuntimeError(
+            f"{len(failures)} characterization job(s) failed; first: "
+            f"{first.job.label}: {first.error}"
+        )
+    results = {
+        name: [outcomes[i].result for i in range(start, stop)]
+        for name, (start, stop) in spans.items()
+    }
+    return assemble_characterize(sweeps, results), outcomes, summary
+
+
+# ----------------------------------------------------------------------
+# Table I driver
+
+
+def table1_jobs(
+    payload: bytes = b"uop cache leaks!",
+    noise_seed: int = 17,
+    config: Optional[CPUConfig] = None,
+) -> List[Any]:
+    """One job per Table I row (the four channel modes)."""
+    from repro.core.report import TABLE1_MODES
+
+    config = config or CPUConfig.skylake()
+    return Sweep(
+        "covert.table1_row",
+        axes={"mode": list(TABLE1_MODES)},
+        base={"payload_hex": payload.hex()},
+        config=config,
+        seed=noise_seed,
+        tag="table1",
+    ).jobs()
+
+
+def run_table1(
+    payload: bytes = b"uop cache leaks!",
+    noise_seed: int = 17,
+    **runner_kwargs,
+) -> Tuple[List[Any], List[JobOutcome], RunSummary]:
+    """Regenerate Table I via the harness; rows in paper order.
+
+    Returns ``(rows, outcomes, summary)`` with :class:`Table1Row`
+    instances identical to ``repro.core.report.table1``.
+    """
+    from repro.core.report import Table1Row
+
+    outcomes, summary = run_jobs(table1_jobs(payload, noise_seed), **runner_kwargs)
+    rows = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"Table I job failed: {outcome.job.label}: {outcome.error}"
+            )
+        rows.append(Table1Row(**outcome.result))
+    return rows, outcomes, summary
+
+
+# ----------------------------------------------------------------------
+# Workload-suite driver
+
+
+def workload_jobs(
+    config: Optional[CPUConfig] = None,
+    scale: int = 1,
+    names: Optional[Sequence[str]] = None,
+) -> List[Any]:
+    """One job per benign workload."""
+    from repro.workloads.suite import WORKLOADS
+
+    config = config or CPUConfig.skylake()
+    return Sweep(
+        "workloads.run",
+        axes={"name": list(names or sorted(WORKLOADS))},
+        base={"scale": scale},
+        config=config,
+        tag="workloads",
+    ).jobs()
+
+
+def run_workloads(
+    config: Optional[CPUConfig] = None,
+    scale: int = 1,
+    names: Optional[Sequence[str]] = None,
+    **runner_kwargs,
+) -> Tuple[Dict[str, Dict[str, Any]], List[JobOutcome], RunSummary]:
+    """Run the benign suite via the harness; results keyed by name."""
+    outcomes, summary = run_jobs(
+        workload_jobs(config, scale, names), **runner_kwargs
+    )
+    rows: Dict[str, Dict[str, Any]] = {}
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"workload job failed: {outcome.job.label}: {outcome.error}"
+            )
+        rows[outcome.job.params["name"]] = outcome.result
+    return rows, outcomes, summary

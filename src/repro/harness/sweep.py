@@ -1,0 +1,81 @@
+"""Parameter-grid expansion: declare sweeps, get job lists.
+
+The characterization figures are all grids -- Figure 3a sweeps loop
+size, Figure 4 sweeps (region count x uops/region), Figure 7 sweeps
+partition geometry.  A :class:`Sweep` declares the grid once; the
+harness expands it into one :class:`Job` per point, preserving axis
+order so results come back in the same order a hand-written nested
+loop would produce them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.cpu.config import CPUConfig
+from repro.harness.job import Job
+
+
+def grid(axes: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of named axes, later axes varying fastest.
+
+    ``grid({"a": [1, 2], "b": [10, 20]})`` yields ``a=1,b=10``,
+    ``a=1,b=20``, ``a=2,b=10``, ``a=2,b=20`` -- the iteration order of
+    ``for a: for b:``.
+    """
+    names = list(axes)
+    value_lists = [list(axes[name]) for name in names]
+    return [
+        dict(zip(names, values))
+        for values in itertools.product(*value_lists)
+    ]
+
+
+@dataclass
+class Sweep:
+    """A declarative parameter grid over one registered experiment.
+
+    ``axes`` vary per job; ``base`` params are shared by every point.
+    A ``base`` key also present in ``axes`` is an error (ambiguous).
+    """
+
+    fn: str
+    axes: Mapping[str, Sequence[Any]]
+    base: Mapping[str, Any] = field(default_factory=dict)
+    config: Optional[CPUConfig] = None
+    seed: int = 0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        clash = set(self.axes) & set(self.base)
+        if clash:
+            raise ValueError(
+                f"sweep axes and base params overlap: {sorted(clash)}"
+            )
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(list(values))
+        return total
+
+    def points(self) -> List[Dict[str, Any]]:
+        """Fully-merged parameter dict for every grid point."""
+        return [dict(self.base, **point) for point in grid(self.axes)]
+
+    def jobs(self) -> List[Job]:
+        """One :class:`Job` per grid point, in grid order."""
+        config = self.config or CPUConfig.skylake()
+        label = self.tag or self.fn
+        return [
+            Job(
+                fn=self.fn,
+                config=config,
+                params=params,
+                seed=self.seed,
+                tag=f"{label}[{i}]",
+            )
+            for i, params in enumerate(self.points())
+        ]

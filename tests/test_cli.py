@@ -38,3 +38,64 @@ def test_requires_command():
 def test_unknown_command():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_load_example_missing_script_is_clear():
+    from repro.__main__ import _load_example
+
+    with pytest.raises(SystemExit, match="example script not found"):
+        _load_example("no_such_example")
+
+
+def test_workloads_json_export(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "workloads.json"
+    assert main(["workloads", "--json", str(out_path)]) == 0
+    assert "mean DSB hit rate" in capsys.readouterr().out
+    doc = json.loads(out_path.read_text())
+    assert doc["experiment"] == "workloads"
+    names = {row["name"] for row in doc["workloads"]}
+    assert "hot_loop" in names
+    assert all(0.0 <= row["dsb_hit_rate"] <= 1.0 for row in doc["workloads"])
+
+
+def test_batch_workloads_cold_then_warm(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    args = ["batch", "workloads", "--jobs", "1", "--cache-dir", cache_dir]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "8 executed, 0 from cache" in out
+    assert "mean DSB hit rate" in out
+
+    # Warm re-run: every job answered from the content-addressed store.
+    assert main(args) == 0
+    assert "0 executed, 8 from cache" in capsys.readouterr().out
+
+
+def test_batch_artifact_export(tmp_path, capsys):
+    import json
+
+    jsonl = tmp_path / "wl.jsonl"
+    csv_path = tmp_path / "wl.csv"
+    assert main(["batch", "workloads", "--no-cache",
+                 "--jsonl", str(jsonl), "--csv", str(csv_path)]) == 0
+    capsys.readouterr()
+    lines = jsonl.read_text().splitlines()
+    assert len(lines) == 8
+    record = json.loads(lines[0])
+    assert record["fn"] == "workloads.run"
+    assert "result_dsb_hit_rate" in record
+    assert csv_path.read_text().splitlines()[0].startswith("fn,")
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["batch", "workloads", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "8 cached result(s)" in capsys.readouterr().out
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed 8" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "0 cached result(s)" in capsys.readouterr().out

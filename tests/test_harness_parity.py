@@ -1,0 +1,138 @@
+"""Serial/parallel parity: the harness must reproduce the serial
+entry points' numbers exactly.
+
+Simulation determinism is the regression oracle here: every
+``measure_*`` sweep is a loop over a pure per-point kernel, and the
+harness runs the same kernels as jobs, so any divergence means the
+refactor changed semantics.  Sweeps are kept tiny; the full ``--fast``
+study is compared end-to-end in ``benchmarks/test_harness_speedup.py``.
+"""
+
+import pytest
+
+from repro.core import characterize
+from repro.cpu.config import CPUConfig
+from repro.harness import Job, run_jobs
+from repro.harness.experiments import (
+    assemble_characterize,
+    characterize_sweeps,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CPUConfig.skylake()
+
+
+def _run(jobs):
+    outcomes, _ = run_jobs(jobs, workers=1, cache=None)
+    assert all(o.ok for o in outcomes), [o.error for o in outcomes]
+    return [o.result for o in outcomes]
+
+
+def test_size_parity(config):
+    sizes, iters = (32, 256, 320), 2
+    serial = characterize.measure_size(config, sizes=sizes, iters=iters)
+    jobs = [Job("characterize.size", config, {"n": n, "iters": iters})
+            for n in sizes]
+    assert _run(jobs) == serial.y
+
+
+def test_associativity_parity(config):
+    ways, iters = (4, 8, 10), 2
+    serial = characterize.measure_associativity(config, ways=ways, iters=iters)
+    jobs = [Job("characterize.associativity", config,
+                {"n": n, "iters": iters}) for n in ways]
+    assert _run(jobs) == serial.y
+
+
+def test_placement_parity(config):
+    serial = characterize.measure_placement(
+        config, region_counts=(2,), uop_counts=(4, 8), iters=2
+    )
+    jobs = [Job("characterize.placement", config,
+                {"nregions": 2, "uops": u, "iters": 2}) for u in (4, 8)]
+    assert _run(jobs) == serial.dsb_uops[2]
+
+
+def test_replacement_parity(config):
+    serial = characterize.measure_replacement(
+        config, main_iters=(1, 2), evict_iters=(0, 2), rounds=4
+    )
+    jobs = [
+        Job("characterize.replacement", config,
+            {"main_iters": m, "evict_iters": e, "rounds": 4})
+        for m in (1, 2) for e in (0, 2)
+    ]
+    flat = _run(jobs)
+    assert [flat[0:2], flat[2:4]] == serial.matrix
+
+
+def test_smt_partitioning_parity(config):
+    serial = characterize.measure_smt_partitioning(
+        config, sizes=(64,), iters=2
+    )
+    jobs = [Job("characterize.smt_partitioning", config,
+                {"n": 64, "iters": 2, "t2_kind": "pause"})]
+    point = _run(jobs)[0]
+    assert [point["single"]] == serial.single_thread
+    assert [point["smt"]] == serial.smt
+
+
+def test_partition_geometry_parity(config):
+    serial = characterize.measure_partition_geometry(
+        config, sweep_sets=(0,), group_counts=(8,), iters=2
+    )
+    sweep_point = _run([Job("characterize.geometry_sweep", config,
+                            {"set_index": 0, "iters": 2})])[0]
+    group_point = _run([Job("characterize.geometry_groups", config,
+                            {"n_groups": 8, "iters": 2})])[0]
+    assert [sweep_point["t1"]] == serial.sweep_t1_mite
+    assert [sweep_point["t2"]] == serial.sweep_t2_mite
+    assert [group_point["single"]] == serial.groups_single
+    assert [group_point["smt"]] == serial.groups_smt
+
+
+def test_assembly_matches_serial_shapes(config):
+    """The batch assembler must rebuild the serial result dataclasses
+    with the sweep's own axes (spot-checked on a stub result set)."""
+    sweeps = characterize_sweeps(config, fast=True)
+    results = {}
+    for name, sweep in sweeps.items():
+        n = len(sweep)
+        if name in ("fig6_smt",):
+            results[name] = [{"single": 1.0, "smt": 2.0}] * n
+        elif name == "fig7_sweep":
+            results[name] = [{"t1": 0.0, "t2": 0.0}] * n
+        elif name == "fig7_groups":
+            results[name] = [{"single": 3.0, "smt": 4.0}] * n
+        else:
+            results[name] = [float(i) for i in range(n)]
+    figures = assemble_characterize(sweeps, results)
+    assert figures["fig3a_size"].x == list(sweeps["fig3a_size"].axes["n"])
+    placement = figures["fig4_placement"]
+    assert placement.regions == [2, 4, 8]
+    assert len(placement.dsb_uops[2]) == len(placement.uops_per_region)
+    # row-major slicing: region 2's series is the first block
+    assert placement.dsb_uops[2][0] == 0.0
+    assert placement.dsb_uops[4][0] == float(len(placement.uops_per_region))
+    replacement = figures["fig5_replacement"]
+    assert replacement.cell(1, 0) == 0.0
+    assert replacement.cell(2, 0) == float(len(replacement.evict_iters))
+    assert figures["fig6_smt"].single_thread[0] == 1.0
+    assert figures["fig7_geometry"].groups_smt[-1] == 4.0
+
+
+def test_table1_row_parity():
+    """One Table I row through the harness equals the serial path (the
+    full four-row table is compared in the benchmark suite)."""
+    from repro.core.report import table1_row
+
+    payload = b"A"
+    serial = table1_row("Same address space", payload, noise_seed=17)
+    rows, _, summary = run_table1(
+        payload, noise_seed=17, workers=1, cache=None
+    )
+    assert summary.executed == 4
+    assert rows[0] == serial
