@@ -14,7 +14,10 @@ experiments are runnable without writing any code:
 Batch orchestration (``repro.harness``):
 
 - ``batch``         -- run an experiment as a parallel, cached job grid
+  (``batch attacks`` runs Tables I & II, key extraction and the
+  transient variants as one cached grid)
 - ``cache``         -- inspect / clear the content-addressed result store
+- ``profile``       -- cProfile a seconds-scale slice of an experiment
 """
 
 from __future__ import annotations
@@ -252,7 +255,45 @@ def _batch_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_attacks(args: argparse.Namespace) -> int:
+    from repro.harness.attacks import run_attacks
+
+    kwargs = _runner_kwargs(args)
+    if args.payload:
+        kwargs["payload"] = args.payload.encode()
+    results, outcomes, summary = run_attacks(fast=args.fast, **kwargs)
+
+    print("Attack evaluation (Tables I & II, key extraction, variants):")
+    print(f"  {'Mode':32s} {'BitErr':>8s} {'Kbit/s':>10s} {'w/ECC':>10s}")
+    for row in results["table1"]:
+        print("  " + row.format())
+    print()
+    print(f"  {'Attack':24s} {'Seconds':>11s} {'LLC refs':>12s} "
+          f"{'LLC miss':>12s} {'DSB penalty':>14s} {'Acc':>7s}")
+    for row in results["table2"]:
+        print("  " + row.format())
+    print()
+    exact = sum(1 for r in results["keyextract"] if r["exact"])
+    print(f"  key extraction: {exact}/{len(results['keyextract'])} exact")
+    for r in results["keyextract"]:
+        print(f"    {r['nbits']}-bit key {r['true_key']:#x} -> "
+              f"{r['recovered_key']:#x} ({r['bit_errors']} bit errors)")
+    bti = results["bti"][0]
+    print(f"  BTI (variant 2): {bti['byte_accuracy'] * 100:.1f}% bytes, "
+          f"{bti['bit_errors']} bit errors")
+    jt = results["jumptable"][0]
+    print(f"  jump table (multi-bit v1): {jt['byte_accuracy'] * 100:.1f}% "
+          f"bytes, {jt['bit_errors']} bit errors")
+    fences = {r["fence"]: r["signal"] for r in results["lfence"]}
+    print(f"  fence signal (Fig 10): none={fences['nf']:.1f} "
+          f"lfence={fences['lf']:.1f} cpuid={fences['cp']:.1f} cycles")
+    _export_artifacts(args, "attacks", outcomes, summary)
+    print(summary.format())
+    return 0
+
+
 _BATCH_EXPERIMENTS = {
+    "attacks": _batch_attacks,
     "characterize": _batch_characterize,
     "covert": _batch_covert,
     "workloads": _batch_workloads,
@@ -267,6 +308,75 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         # the first failing job's label and error already formatted.
         print(f"batch {args.experiment} failed: {exc}")
         return 1
+
+
+# ----------------------------------------------------------------------
+# Profiler
+
+
+def _profile_covert() -> None:
+    from repro.core.covert import ChannelParams, CovertChannel
+
+    CovertChannel(ChannelParams()).transmit(b"uop")
+
+
+def _profile_spectre() -> None:
+    from repro.core.transient import UopCacheSpectreV1
+
+    UopCacheSpectreV1(secret=b"\xa5\x3c").leak()
+
+
+def _profile_classic() -> None:
+    from repro.core.transient import ClassicSpectreV1
+
+    ClassicSpectreV1(secret=b"\xa5\x3c").leak()
+
+
+def _profile_smt() -> None:
+    from repro.core.smtchannel import SMTChannel, SMTChannelParams
+
+    SMTChannel(SMTChannelParams()).transmit(b"u")
+
+
+def _profile_keyextract() -> None:
+    from repro.core.keyextract import KeyExtractor
+
+    KeyExtractor(nbits=8).extract(0xB5)
+
+
+def _profile_characterize() -> None:
+    from repro.core.characterize import size_point
+    from repro.cpu.config import CPUConfig
+
+    size_point(CPUConfig.skylake(), 64, 8)
+
+
+#: Small named workloads for ``repro profile`` (seconds, not minutes;
+#: each is the hot loop of the matching full command).
+_PROFILE_TARGETS = {
+    "covert": _profile_covert,
+    "spectre": _profile_spectre,
+    "classic": _profile_classic,
+    "smt": _profile_smt,
+    "keyextract": _profile_keyextract,
+    "characterize": _profile_characterize,
+}
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    target = _PROFILE_TARGETS[args.experiment]
+    prof = cProfile.Profile()
+    prof.enable()
+    target()
+    prof.disable()
+    stats = pstats.Stats(prof)
+    stats.sort_stats("cumulative")
+    print(f"profile: {args.experiment} (top {args.top} by cumulative time)")
+    stats.print_stats(args.top)
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -334,12 +444,13 @@ def main(argv=None) -> int:
     p.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                    help="worker processes (1 = serial in-process)")
     p.add_argument("--fast", action="store_true",
-                   help="coarser sweeps (characterize)")
+                   help="coarser sweeps / smoke-size grids "
+                        "(characterize, attacks)")
     p.add_argument("--cpu", default="skylake",
                    choices=["skylake", "zen", "zen2", "sunny_cove"],
                    help="CPU preset (workloads)")
     p.add_argument("--scale", type=int, default=1, help="(workloads)")
-    p.add_argument("--payload", default=None, help="(covert)")
+    p.add_argument("--payload", default=None, help="(covert, attacks)")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="result store location (default: $REPRO_CACHE_DIR "
                         "or ~/.cache/repro)")
@@ -358,6 +469,18 @@ def main(argv=None) -> int:
     p.add_argument("--json", metavar="PATH", default=None,
                    help="write per-point results as one JSON document")
     p.set_defaults(fn=_cmd_batch)
+
+    p = sub.add_parser(
+        "profile",
+        help="cProfile a small named experiment",
+        description="Run a seconds-scale slice of an experiment under "
+                    "cProfile and print the hottest functions by "
+                    "cumulative time.",
+    )
+    p.add_argument("experiment", choices=sorted(_PROFILE_TARGETS))
+    p.add_argument("--top", type=int, default=20, metavar="N",
+                   help="rows of the report (default 20)")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("cache", help="inspect/clear the result store")
     p.add_argument("action", choices=["stats", "clear"])

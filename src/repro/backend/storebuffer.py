@@ -14,7 +14,7 @@ from typing import List
 from repro.memory.mainmem import MainMemory
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     seq: int
     addr: int
@@ -53,6 +53,10 @@ class StoreBuffer:
         for i, b in enumerate(data):
             value |= b << (8 * i)
         return value
+
+    def clear(self) -> None:
+        """Drop every pending store without committing it."""
+        self._entries.clear()
 
     def truncate(self, seq: int) -> int:
         """Discard entries younger than ``seq`` (squash); returns count."""

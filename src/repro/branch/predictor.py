@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 from repro.isa.instruction import BranchKind, MacroOp
 
 
-@dataclass
+@dataclass(slots=True)
 class Prediction:
     """Front-end prediction for one control-flow macro-op."""
 

@@ -27,22 +27,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.covert import read_elapsed
 from repro.core.exploitgen import FootprintSpec, emit_chain, emit_probe, striped_sets
-from repro.core.timing import ProbeTiming, TimingClassifier
+from repro.core.timing import ProbeTiming
 from repro.core.transient import AttackStats
 from repro.cpu.config import CPUConfig
-from repro.cpu.core import Core
 from repro.cpu.noise import NoiseModel
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
+from repro.session import AttackSession
 
 RECV_ARENA = 0x44_0000
 TTIGER_ARENA = 0x48_0000
 TZEBRA_ARENA = 0x4C_0000
 
 
-class BranchTargetInjection:
+class BranchTargetInjection(AttackSession):
     """Spectre-v2 + micro-op cache disclosure, same address space.
 
     ``secret`` lives in the victim's data; the victim's only indirect
@@ -71,12 +70,11 @@ class BranchTargetInjection:
         self.probe_ways = probe_ways
         self.transmit_ways = transmit_ways
         self.samples = samples
-        self.config = config or CPUConfig.skylake()
-        self.core = Core(self.config, self._build_program(), noise=noise)
-        self.total_cycles = 0
-        self.timing: Optional[ProbeTiming] = None
-        self.classifier: Optional[TimingClassifier] = None
-        # the attacker aims its training branch at the gadget
+        super().__init__(config or CPUConfig.skylake(), noise)
+
+    def setup(self) -> None:
+        # the attacker aims its training branch at the gadget (re-aimed
+        # after every reset, which re-images data memory)
         self.core.write_mem(
             self.core.addr_of("attacker_target"),
             self.core.addr_of("gadget"),
@@ -88,7 +86,7 @@ class BranchTargetInjection:
 
     # ------------------------------------------------------------------
 
-    def _build_program(self):
+    def build_program(self):
         tiger_sets = striped_sets(self.nsets)
         stride = 32 // self.nsets
         zebra_sets = striped_sets(self.nsets, offset=max(1, stride // 2))
@@ -192,14 +190,6 @@ class BranchTargetInjection:
             self.core.addr_of("benign_handler"),
         )
 
-    def _call(self, label: str, regs: Optional[dict] = None) -> None:
-        self.core.call(label, regs=regs)
-        self.total_cycles += self.core.cycles()
-
-    def _probe_time(self) -> int:
-        self._call("probe")
-        return read_elapsed(self.core, self.core.addr_of("probe_result"))
-
     def _poison(self) -> None:
         """Train the shared predictor slot to point at the gadget.
 
@@ -226,9 +216,7 @@ class BranchTargetInjection:
         for _ in range(rounds):
             hits.append(self._episode(cal_index, 1))  # bit1 of 0x01 = 0
             misses.append(self._episode(cal_index, 0))  # bit0 of 0x01 = 1
-        self.timing = ProbeTiming(hits, misses)
-        self.classifier = TimingClassifier.from_timing(self.timing)
-        return self.timing
+        return self._fit(hits, misses)
 
     def leak_bit(self, byte_index: int, bit: int) -> int:
         """Leak one secret bit through the injected gadget."""

@@ -15,18 +15,25 @@ as Table I (Kbit/s at the configured core frequency).
 
 from __future__ import annotations
 
-import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.coding.reed_solomon import RSCodec, RSDecodeError
 from repro.cpu.config import CPUConfig
-from repro.cpu.core import Core
 from repro.cpu.noise import NoiseModel
 from repro.core.exploitgen import FootprintSpec, emit_chain, emit_probe, striped_sets
-from repro.core.timing import ProbeTiming, TimingClassifier
+from repro.core.timing import ProbeTiming
 from repro.errors import ConfigError
 from repro.isa.assembler import Assembler
+from repro.session import AttackSession, read_elapsed
+
+__all__ = [
+    "ChannelParams",
+    "ChannelReport",
+    "CovertChannel",
+    "read_elapsed",  # canonical home is repro.session; re-exported
+    "tune",
+]
 
 #: Arena layout (all 1024-aligned, 256 KiB apart).
 RECEIVER_ARENA = 0x44_0000
@@ -92,19 +99,6 @@ class ChannelReport:
         return self.bandwidth_kbps / self.ecc_overhead
 
 
-def read_elapsed(core: Core, addr: int) -> int:
-    """Read a stored RDTSC delta, clamping wraparound to zero.
-
-    With timer jitter two nearby RDTSC reads can appear to go
-    backwards; the subtraction then wraps around 2^64.  Attackers
-    clamp such garbage samples, and so do we.
-    """
-    value = core.read_mem(addr)
-    if value >> 63:
-        return 0
-    return value
-
-
 def _bytes_to_bits(data: bytes) -> List[int]:
     bits = []
     for byte in data:
@@ -121,7 +115,7 @@ def _bits_to_bytes(bits: Sequence[int]) -> bytes:
     return bytes(out)
 
 
-class CovertChannel:
+class CovertChannel(AttackSession):
     """Tiger/zebra covert channel between two same-privilege code
     regions sharing an address space."""
 
@@ -132,16 +126,11 @@ class CovertChannel:
         noise: Optional[NoiseModel] = None,
     ):
         self.params = params or ChannelParams()
-        self.config = config or CPUConfig.skylake()
-        self.noise = noise
-        self.core = Core(self.config, self._build_program(), noise=noise)
-        self.total_cycles = 0
-        self.timing: Optional[ProbeTiming] = None
-        self.classifier: Optional[TimingClassifier] = None
+        super().__init__(config or CPUConfig.skylake(), noise)
 
     # ------------------------------------------------------------------
 
-    def _build_program(self):
+    def build_program(self):
         p = self.params
         tiger_sets = striped_sets(p.nsets)
         stride = 32 // p.nsets
@@ -162,14 +151,6 @@ class CovertChannel:
             FootprintSpec(zebra_sets, p.nways, ZEBRA_ARENA),
         )
         return asm.assemble(entry="probe")
-
-    def _call(self, label: str) -> None:
-        self.core.call(label)
-        self.total_cycles += self.core.cycles()
-
-    def _probe_time(self) -> int:
-        self._call("probe")
-        return read_elapsed(self.core, self.core.addr_of("probe_result"))
 
     def _prime(self) -> None:
         for _ in range(self.params.prime_reps):
@@ -193,9 +174,7 @@ class CovertChannel:
             self._prime()
             self._send(1)
             misses.append(self._probe_time())
-        self.timing = ProbeTiming(hits, misses)
-        self.classifier = TimingClassifier.from_timing(self.timing)
-        return self.timing
+        return self._fit(hits, misses)
 
     def send_bits(self, bits: Sequence[int]) -> List[int]:
         """Transmit a bit string; returns the received bits."""

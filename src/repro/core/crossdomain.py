@@ -25,15 +25,14 @@ from repro.core.covert import (
     ChannelReport,
     _bits_to_bytes,
     _bytes_to_bits,
-    read_elapsed,
 )
 from repro.core.exploitgen import FootprintSpec, emit_chain, emit_probe, striped_sets
-from repro.core.timing import ProbeTiming, TimingClassifier
+from repro.core.timing import ProbeTiming
 from repro.cpu.config import CPUConfig
-from repro.cpu.core import Core
 from repro.cpu.noise import NoiseModel
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
+from repro.session import AttackSession
 
 SPY_ARENA = 0x44_0000
 KERNEL_BASE = 0xC0_0000
@@ -55,7 +54,7 @@ class CrossDomainParams:
     calibration_rounds: int = 8
 
 
-class CrossDomainChannel:
+class CrossDomainChannel(AttackSession):
     """Covert channel across the user/kernel privilege boundary."""
 
     def __init__(
@@ -65,15 +64,11 @@ class CrossDomainChannel:
         noise: Optional[NoiseModel] = None,
     ):
         self.params = params or CrossDomainParams()
-        self.config = config or CPUConfig.skylake()
-        self.core = Core(self.config, self._build_program(), noise=noise)
-        self.total_cycles = 0
-        self.timing: Optional[ProbeTiming] = None
-        self.classifier: Optional[TimingClassifier] = None
+        super().__init__(config or CPUConfig.skylake(), noise)
 
     # ------------------------------------------------------------------
 
-    def _build_program(self):
+    def build_program(self):
         p = self.params
         tiger_sets = striped_sets(p.nsets)
         stride = 32 // p.nsets
@@ -116,14 +111,6 @@ class CrossDomainChannel:
         prog.kernel_ranges.append((KERNEL_BASE, KERNEL_END))
         return prog
 
-    def _call(self, label: str) -> None:
-        self.core.call(label)
-        self.total_cycles += self.core.cycles()
-
-    def _probe_time(self) -> int:
-        self._call("probe")
-        return read_elapsed(self.core, self.core.addr_of("probe_result"))
-
     def _send(self, bit: int) -> None:
         """The kernel transmits by executing its secret-dependent path."""
         self.core.write_mem(self.core.addr_of("kernel_secret"), bit)
@@ -144,9 +131,7 @@ class CrossDomainChannel:
                 self._call("probe")
             self._send(1)
             misses.append(self._probe_time())
-        self.timing = ProbeTiming(hits, misses)
-        self.classifier = TimingClassifier.from_timing(self.timing)
-        return self.timing
+        return self._fit(hits, misses)
 
     def send_bits(self, bits: Sequence[int]) -> List[int]:
         """Leak a bit string across the privilege boundary."""

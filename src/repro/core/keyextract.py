@@ -31,13 +31,12 @@ import statistics
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.core.covert import read_elapsed
 from repro.cpu.config import CPUConfig
-from repro.cpu.core import Core
 from repro.cpu.noise import NoiseModel
 from repro.errors import ConfigError
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
+from repro.session import AttackSession
 
 #: Mersenne modulus: products of 31-bit operands fit in 62 bits, and
 #: reduction is (x & M) + (x >> 31), twice, plus one conditional
@@ -76,7 +75,7 @@ class ExtractionResult:
         return self.true_key == self.recovered_key
 
 
-class ModexpVictim:
+class ModexpVictim(AttackSession):
     """Builds and drives the victim + spy program pair."""
 
     def __init__(
@@ -92,8 +91,7 @@ class ModexpVictim:
         self.nbits = nbits
         self.spy_samples = spy_samples
         self.limb_rounds = limb_rounds
-        self.config = config or CPUConfig.zen()
-        self.core = Core(self.config, self._build_program(), noise=noise)
+        super().__init__(config or CPUConfig.zen(), noise)
 
     # ------------------------------------------------------------------
     # program construction
@@ -189,7 +187,7 @@ class ModexpVictim:
         asm.emit(enc.jcc("nz", f"{name}_limb_top"))
         asm.emit(enc.ret())
 
-    def _build_program(self):
+    def build_program(self):
         from repro.core.exploitgen import FootprintSpec, _emit_regions, neutral_set
 
         asm = Assembler()
@@ -287,7 +285,7 @@ class ModexpVictim:
         """Run victim (key) and spy concurrently; returns the victim's
         modexp result and the spy's (timestamp, elapsed) samples."""
         base = 0x12345
-        self.core.run_smt(
+        self._run_smt(
             ("victim", "spy"),
             regs=({"r2": base, "r7": key}, None),
         )
@@ -296,7 +294,7 @@ class ModexpVictim:
         samples = []
         for i in range(self.spy_samples):
             stamp = self.core.read_mem(log + 16 * i)
-            elapsed = read_elapsed(self.core, log + 16 * i + 8)
+            elapsed = self._elapsed(log + 16 * i + 8)
             samples.append((stamp, elapsed))
         return result, samples
 
@@ -311,10 +309,22 @@ class KeyExtractor:
         self.noise = noise
         self.d_one: Optional[float] = None
         self.d_zero: Optional[float] = None
+        self._victim: Optional[ModexpVictim] = None
 
-    def _fresh_victim(self) -> ModexpVictim:
-        return ModexpVictim(nbits=self.nbits, config=self.config,
-                            noise=self.noise)
+    def _victim_session(self) -> ModexpVictim:
+        """The victim + spy pair, built once and reused via reset().
+
+        A reset victim is byte-identical to a fresh one (the session
+        layer's parity guarantee), so every run still starts from the
+        same cold-cache state the extraction offsets were tuned for --
+        without paying program assembly per run.
+        """
+        if self._victim is None:
+            self._victim = ModexpVictim(nbits=self.nbits, config=self.config,
+                                        noise=self.noise)
+        else:
+            self._victim.reset()
+        return self._victim
 
     @staticmethod
     def _spikes(samples: List[Tuple[int, int]]) -> List[int]:
@@ -354,7 +364,7 @@ class KeyExtractor:
         return key
 
     def _leader_gap(self, key: int, min_gap: float) -> float:
-        _, samples = self._fresh_victim().run_pair(key)
+        _, samples = self._victim_session().run_pair(key)
         spikes = self._spikes(samples)
         leaders = self._burst_leaders(spikes, min_gap=min_gap)
         gaps = [b - a for a, b in zip(leaders, leaders[1:])]
@@ -386,7 +396,7 @@ class KeyExtractor:
             raise ConfigError("key MSB must be set")
         if self.d_one is None:
             self.calibrate()
-        victim = self._fresh_victim()
+        victim = self._victim_session()
         result, samples = victim.run_pair(key)
         spikes = self._spikes(samples)
         leaders = self._burst_leaders(spikes, min_gap=self.d_one * 0.6)

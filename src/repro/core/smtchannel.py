@@ -19,19 +19,19 @@ import statistics
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.core.covert import ChannelReport, _bytes_to_bits, read_elapsed
+from repro.core.covert import ChannelReport, _bytes_to_bits
 from repro.core.exploitgen import (
     FootprintSpec,
     _emit_regions,
     neutral_set,
     striped_sets,
 )
-from repro.core.timing import ProbeTiming, TimingClassifier
+from repro.core.timing import ProbeTiming
 from repro.cpu.config import CPUConfig
-from repro.cpu.core import Core
 from repro.cpu.noise import NoiseModel
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
+from repro.session import AttackSession
 
 RX_ARENA = 0x44_0000
 TX_ARENA = 0x50_0000
@@ -48,7 +48,7 @@ class SMTChannelParams:
     calibration_rounds: int = 6
 
 
-class SMTChannel:
+class SMTChannel(AttackSession):
     """Micro-op cache covert channel between two SMT threads.
 
     Defaults to :meth:`CPUConfig.zen` (competitively shared cache);
@@ -63,15 +63,11 @@ class SMTChannel:
         noise: Optional[NoiseModel] = None,
     ):
         self.params = params or SMTChannelParams()
-        self.config = config or CPUConfig.zen()
-        self.core = Core(self.config, self._build_program(), noise=noise)
-        self.total_cycles = 0
-        self.timing: Optional[ProbeTiming] = None
-        self.classifier: Optional[TimingClassifier] = None
+        super().__init__(config or CPUConfig.zen(), noise)
 
     # ------------------------------------------------------------------
 
-    def _build_program(self):
+    def build_program(self):
         p = self.params
         sets = striped_sets(p.nsets)
         asm = Assembler()
@@ -132,11 +128,10 @@ class SMTChannel:
         """Run one concurrent bit episode; returns the receiver's mean
         probe time (first pass dropped as warm-up)."""
         label = "tx_one" if bit else "tx_zero"
-        self.core.run_smt(("rx_epoch", label))
-        self.total_cycles += max(self.core.cycles(0), self.core.cycles(1))
+        self._run_smt(("rx_epoch", label))
         base = self.core.addr_of("rx_results")
         times = [
-            read_elapsed(self.core, base + 8 * i)
+            self._elapsed(base + 8 * i)
             for i in range(self.params.probe_passes)
         ]
         return statistics.fmean(times[1:]) if len(times) > 1 else times[0]
@@ -147,9 +142,7 @@ class SMTChannel:
         for _ in range(self.params.calibration_rounds):
             hits.append(self._episode(0))
             misses.append(self._episode(1))
-        self.timing = ProbeTiming(hits, misses)
-        self.classifier = TimingClassifier.from_timing(self.timing)
-        return self.timing
+        return self._fit(hits, misses)
 
     def send_bits(self, bits: Sequence[int]) -> List[int]:
         """Transmit bits, one SMT episode each."""

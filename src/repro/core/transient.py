@@ -18,19 +18,18 @@ Three attacks live here:
 
 from __future__ import annotations
 
-import statistics
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional
 
-from repro.core.covert import ChannelReport, _bits_to_bytes, _bytes_to_bits, read_elapsed
+from repro.core.covert import ChannelReport
 from repro.core.exploitgen import FootprintSpec, emit_chain, emit_probe, striped_sets
-from repro.core.timing import ProbeTiming, TimingClassifier
+from repro.core.timing import ProbeTiming
 from repro.cpu.config import CPUConfig
-from repro.cpu.core import Core
 from repro.cpu.counters import PerfCounters
 from repro.cpu.noise import NoiseModel
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
+from repro.session import AttackSession
 
 RECV_ARENA = 0x44_0000
 TTIGER_ARENA = 0x48_0000
@@ -81,7 +80,7 @@ class AttackStats:
         return len(self.secret) * 8 / self.seconds / 1e3
 
 
-class UopCacheSpectreV1:
+class UopCacheSpectreV1(AttackSession):
     """Variant-1: bounds-check bypass + micro-op cache disclosure.
 
     The victim (Listing 4) returns ``array[i]`` after a bounds check
@@ -115,22 +114,19 @@ class UopCacheSpectreV1:
         # sample.  Real attacks build such windowing gadgets the same
         # way (Section II-E's "windowing gadget").
         self.deep_window = deep_window
-        self.config = config or CPUConfig.skylake()
+        config = config or CPUConfig.skylake()
         # An attacker characterises the machine first: under
         # privilege-level partitioning, user code sees half the sets,
         # and the tiger/zebra geometry adapts (the paper's point that
         # partitioning does not stop this same-privilege attack).
-        self.effective_sets = self.config.uop_cache_sets
-        if self.config.privilege_partition_uop_cache:
+        self.effective_sets = config.uop_cache_sets
+        if config.privilege_partition_uop_cache:
             self.effective_sets //= 2
-        self.core = Core(self.config, self._build_program(), noise=noise)
-        self.total_cycles = 0
-        self.timing: Optional[ProbeTiming] = None
-        self.classifier: Optional[TimingClassifier] = None
+        super().__init__(config, noise)
 
     # ------------------------------------------------------------------
 
-    def _build_program(self):
+    def build_program(self):
         total = self.effective_sets
         nsets = min(self.nsets, total // 2)
         tiger_sets = striped_sets(nsets, total_sets=total)
@@ -249,14 +245,6 @@ class UopCacheSpectreV1:
             self.core.addr_of("array") + self.CAL_ONE_INDEX, 0xFF, size=1
         )
 
-    def _call(self, label: str, regs: Optional[dict] = None) -> None:
-        self.core.call(label, regs=regs)
-        self.total_cycles += self.core.cycles()
-
-    def _probe_time(self) -> int:
-        self._call("probe")
-        return read_elapsed(self.core, self.core.addr_of("probe_result"))
-
     def _train(self, rounds: int = 2) -> None:
         for _ in range(rounds):
             self._call("invoke_victim", regs={"r1": self.TRAIN_INDEX, "r2": 0})
@@ -279,9 +267,7 @@ class UopCacheSpectreV1:
         for _ in range(rounds):
             hits.append(self._episode(self.TRAIN_INDEX, 0))  # value 0x00
             misses.append(self._episode(self.CAL_ONE_INDEX, 0))  # value 0xFF
-        self.timing = ProbeTiming(hits, misses)
-        self.classifier = TimingClassifier.from_timing(self.timing)
-        return self.timing
+        return self._fit(hits, misses)
 
     def leak_bit(self, byte_index: int, bit: int) -> int:
         """Leak one bit of ``secret[byte_index]`` transiently."""
@@ -331,7 +317,7 @@ class UopCacheSpectreV1:
         )
 
 
-class ClassicSpectreV1:
+class ClassicSpectreV1(AttackSession):
     """The original Spectre-v1 with a FLUSH+RELOAD LLC disclosure
     primitive (Table II's baseline).
 
@@ -353,11 +339,9 @@ class ClassicSpectreV1:
         self.secret = secret
         self.rounds_per_byte = rounds_per_byte
         self.lfence = lfence
-        self.config = config or CPUConfig.skylake()
-        self.core = Core(self.config, self._build_program(), noise=noise)
-        self.total_cycles = 0
+        super().__init__(config or CPUConfig.skylake(), noise)
 
-    def _build_program(self):
+    def build_program(self):
         asm = Assembler()
         probe_bytes = 256 * self.STRIDE
         asm.reserve("reload_results", 256 * 8)
@@ -436,10 +420,6 @@ class ClassicSpectreV1:
         for i, byte in enumerate(self.secret):
             self.core.write_mem(base + i, byte, size=1)
 
-    def _call(self, label: str, regs: Optional[dict] = None) -> None:
-        self.core.call(label, regs=regs)
-        self.total_cycles += self.core.cycles()
-
     def leak_byte(self, byte_index: int) -> int:
         """Recover one secret byte via FLUSH+RELOAD."""
         self._install_secret()
@@ -453,7 +433,7 @@ class ClassicSpectreV1:
             self._call("reload_all")
             base = self.core.addr_of("reload_results")
             times = [
-                read_elapsed(self.core, base + 8 * k) or (1 << 62)
+                self._elapsed(base + 8 * k) or (1 << 62)
                 for k in range(256)
             ]
             best = min(range(256), key=lambda k: times[k])
@@ -488,7 +468,7 @@ class FenceSignal:
         return self.timing.delta
 
 
-class LfenceBypass:
+class LfenceBypass(AttackSession):
     """Variant-2: leaking through a fence via a predicted indirect call.
 
     The victim authorises the caller, then makes a secret-dependent
@@ -510,15 +490,16 @@ class LfenceBypass:
         self.nsets = nsets
         self.probe_ways = probe_ways
         self.target_ways = target_ways
-        self.config = config or CPUConfig.skylake()
-        self.core = Core(self.config, self._build_program(), noise=noise)
-        # Function-pointer table: resolved after assembly.
+        super().__init__(config or CPUConfig.skylake(), noise)
+
+    def setup(self) -> None:
+        # Function-pointer table: resolved after assembly (and after
+        # every reset, which re-images data memory).
         table = self.core.addr_of("fun_table")
         self.core.write_mem(table, self.core.addr_of("target_zero"))
         self.core.write_mem(table + 8, self.core.addr_of("target_one"))
-        self.total_cycles = 0
 
-    def _build_program(self):
+    def build_program(self):
         tiger_sets = striped_sets(self.nsets)
         stride = 32 // self.nsets
         zebra_sets = striped_sets(self.nsets, offset=max(1, stride // 2))
@@ -578,14 +559,6 @@ class LfenceBypass:
         return asm.assemble(entry="probe")
 
     # ------------------------------------------------------------------
-
-    def _call(self, label: str, regs: Optional[dict] = None) -> None:
-        self.core.call(label, regs=regs)
-        self.total_cycles += self.core.cycles()
-
-    def _probe_time(self) -> int:
-        self._call("probe")
-        return read_elapsed(self.core, self.core.addr_of("probe_result"))
 
     def _set_secret(self, bit: int) -> None:
         self.core.write_mem(self.core.addr_of("secret2"), bit)

@@ -23,16 +23,14 @@ import statistics
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.covert import read_elapsed
 from repro.core.exploitgen import FootprintSpec, emit_chain, emit_probe, striped_sets
-from repro.core.timing import ProbeTiming
 from repro.core.transient import ARRAY_BYTES, AttackStats
 from repro.cpu.config import CPUConfig
-from repro.cpu.core import Core
 from repro.cpu.noise import NoiseModel
 from repro.errors import ConfigError
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
+from repro.session import AttackSession
 
 _PROBE_ARENAS = 0x44_0000
 _SEND_ARENAS = 0x60_0000
@@ -55,7 +53,7 @@ class SymbolCalibration:
         return max(range(len(times)), key=lambda g: scores[g])
 
 
-class JumpTableSpectre:
+class JumpTableSpectre(AttackSession):
     """Multi-bit variant-1 using a transmitter jump table.
 
     ``bits_per_symbol`` of the secret byte are leaked per victim
@@ -89,14 +87,16 @@ class JumpTableSpectre:
         self.probe_ways = probe_ways
         self.transmit_ways = transmit_ways
         self.samples = samples
-        self.config = config or CPUConfig.skylake()
-        self.core = Core(self.config, self._build_program(), noise=noise)
+        super().__init__(config or CPUConfig.skylake(), noise)
+
+    def setup(self) -> None:
+        # Transmitter jump table: resolved after assembly (and after
+        # every reset, which re-images data memory).
         table = self.core.addr_of("transmit_table")
         for g in range(self.groups):
             self.core.write_mem(
                 table + 8 * g, self.core.addr_of(f"send_{g}")
             )
-        self.total_cycles = 0
         self.calibration: Optional[SymbolCalibration] = None
 
     # ------------------------------------------------------------------
@@ -105,7 +105,7 @@ class JumpTableSpectre:
         all_sets = striped_sets(self.groups * self.sets_per_group)
         return all_sets[g::self.groups]
 
-    def _build_program(self):
+    def build_program(self):
         asm = Assembler()
         asm.reserve("probe_results", 8 * self.groups)
         array_addr = asm.reserve(
@@ -172,16 +172,12 @@ class JumpTableSpectre:
         for s in range(self.groups):
             self.core.write_mem(array + self.TRAIN_BASE + s, s, size=1)
 
-    def _call(self, label: str, regs: Optional[dict] = None) -> None:
-        self.core.call(label, regs=regs)
-        self.total_cycles += self.core.cycles()
-
     def _probe_all(self) -> List[float]:
         times = []
         result = self.core.addr_of("probe_results")
         for g in range(self.groups):
             self._call(f"probe_{g}")
-            times.append(read_elapsed(self.core, result))
+            times.append(self._elapsed(result))
         return times
 
     def _episode(self, index: int, shift: int) -> List[float]:

@@ -45,7 +45,11 @@ from repro.uopcache.cache import UopCache
 from repro.uopcache.policies import make_policy
 
 
-@dataclass
+#: Sentinel for ``Core.reset(noise=...)``: "keep the current model".
+_KEEP_NOISE = object()
+
+
+@dataclass(slots=True)
 class _Checkpoint:
     """Architectural + scoreboard state at a mispredicted branch."""
 
@@ -63,7 +67,7 @@ class _Checkpoint:
     last_source: str
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingSquash:
     """A discovered misprediction awaiting its resolution cycle."""
 
@@ -73,7 +77,7 @@ class _PendingSquash:
     checkpoint: _Checkpoint
 
 
-@dataclass
+@dataclass(slots=True)
 class _SpecState:
     """Per-thread speculation bookkeeping."""
 
@@ -142,6 +146,49 @@ class Core:
         #: Optional list collecting (cycle, entry, kind, source, n_uops)
         #: per fetch block -- a debugging aid, None disables tracing.
         self.trace: Optional[list] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def reset(self, noise=_KEEP_NOISE) -> None:
+        """Restore the core to its post-construction state.
+
+        Registers, memory image, micro-op cache, cache hierarchy,
+        predictors, store buffers, counters and speculation state all
+        return to what ``__init__`` left them -- but the assembled
+        program and the front end's memoized region decodes are kept,
+        so nothing is re-assembled or re-decoded.  A trial on a reset
+        core is byte-identical to one on a freshly built core (the
+        parity tests assert this), at a fraction of the cost.
+
+        ``noise`` swaps in a different :class:`NoiseModel` (or ``None``
+        to disable noise); by default the existing model is kept and
+        rewound to its seed, so reset trials replay the same noise
+        sequence a fresh core would draw.
+
+        The ``trace`` hook is a debugging aid, not simulation state,
+        and is left alone.
+        """
+        if noise is not _KEEP_NOISE:
+            self.noise = noise
+        if self.noise is not None:
+            self.noise.reseed()
+        self.backend.rdtsc_jitter = (
+            self.noise.rdtsc_jitter if self.noise else None
+        )
+        self.uop_cache.reset()
+        self.hierarchy.reset()
+        self.memory.clear()
+        for base, payload in self.program.data.items():
+            self.memory.load_image(base, payload)
+        for buffer in self.backend.store_buffers.values():
+            buffer.clear()
+        self.frontend.smt_active = False
+        self.threads = (
+            ThreadContext(thread_id=0),
+            ThreadContext(thread_id=1),
+        )
+        self._spec = (_SpecState(), _SpecState())
 
     # ------------------------------------------------------------------
     # wiring

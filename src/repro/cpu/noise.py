@@ -35,7 +35,18 @@ class NoiseModel:
             raise ValueError("evict_prob must be a probability")
         self.evict_prob = evict_prob
         self.jitter_sd = jitter_sd
+        self.seed = seed
         self._rng = random.Random(seed)
+
+    def reseed(self, seed: Optional[int] = None) -> None:
+        """Rewind the RNG to its initial seed (or adopt a new one).
+
+        ``Core.reset()`` calls this so a reset-core trial draws the
+        exact same noise sequence as a fresh-core trial.
+        """
+        if seed is not None:
+            self.seed = seed
+        self._rng = random.Random(self.seed)
 
     def maybe_evict(self, uop_cache: UopCache) -> None:
         """Possibly evict one random resident line."""
@@ -43,13 +54,7 @@ class NoiseModel:
             return
         if self._rng.random() >= self.evict_prob:
             return
-        occupied = [i for i in range(uop_cache.sets) if uop_cache.set_occupancy(i)]
-        if not occupied:
-            return
-        idx = self._rng.choice(occupied)
-        ways = uop_cache._sets[idx]
-        ways.pop(self._rng.randrange(len(ways)))
-        uop_cache.stats.evictions += 1
+        uop_cache.evict_random(self._rng)
 
     def rdtsc_jitter(self) -> int:
         """Cycles of jitter to add to one RDTSC read."""

@@ -22,7 +22,7 @@ Two documented simplifications (DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.branch.predictor import Prediction
@@ -36,7 +36,7 @@ from repro.uopcache.cache import UopCache
 from repro.uopcache.placement import LineSpec, build_lines
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchedUop:
     """A dynamic micro-op instance in flight."""
 
@@ -61,7 +61,7 @@ BLOCK_CPUID = "cpuid"  # serialising instruction: fetch stalls until done
 BLOCK_FAULT = "fault"  # wild fetch or privilege violation
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchBlock:
     """Result of one fetch step."""
 
@@ -73,7 +73,7 @@ class FetchBlock:
     cycles: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _RegionWalk:
     """Memoized prediction-independent decode of one region entry."""
 

@@ -408,3 +408,11 @@ def run_workloads(
             )
         rows[outcome.job.params["name"]] = outcome.result
     return rows, outcomes, summary
+
+
+# ----------------------------------------------------------------------
+# Attack jobs live in their own module; importing it here means
+# ``resolve()``'s lazy load of this catalogue registers them too
+# (worker processes start with an empty registry).
+
+from repro.harness import attacks  # noqa: E402,F401  (registers)

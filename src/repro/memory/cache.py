@@ -148,6 +148,17 @@ class Cache:
                     self.on_evict(base)
             lines.clear()
 
+    def reset(self) -> None:
+        """Restore post-construction state: empty sets, zeroed stats.
+
+        Unlike :meth:`flush` this fires no eviction hooks and does not
+        count as a flush -- it exists for ``Core.reset()``, where the
+        downstream structures are being reset in the same breath.
+        """
+        for lines in self._lines:
+            lines.clear()
+        self.stats.reset()
+
     def resident_lines(self) -> List[int]:
         """Base addresses of all resident lines (for tests/inspection)."""
         out: List[int] = []

@@ -14,7 +14,7 @@ from repro.memory.cache import Cache
 from repro.memory.tlb import TLB
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one hierarchy access."""
 
@@ -93,6 +93,19 @@ class MemoryHierarchy:
         self.l2.invalidate(addr)
         self.l1d.invalidate(addr)
         self.l1i.invalidate(addr)
+
+    def reset(self) -> None:
+        """Empty every level and zero its counters, silently.
+
+        ``Cache.flush()`` fires eviction hooks (L1I inclusion, LLC
+        back-invalidation) and bumps flush counters; a ``Core.reset()``
+        wants neither -- the post-construction state is simply "empty".
+        """
+        self.l1i.reset()
+        self.l1d.reset()
+        self.l2.reset()
+        self.llc.reset()
+        self.itlb.reset()
 
     def probe_data_latency(self, addr: int) -> int:
         """Latency a data access *would* see, without perturbing state.

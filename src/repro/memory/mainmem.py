@@ -33,6 +33,11 @@ class MainMemory:
         for i, b in enumerate(payload):
             self._bytes[base + i] = b
 
+    def clear(self) -> None:
+        """Forget every written byte (``Core.reset()`` re-images the
+        program's data segments afterwards)."""
+        self._bytes.clear()
+
     def read_bytes(self, addr: int, size: int) -> bytes:
         """Read a raw byte string (for harness-side result extraction)."""
         return bytes(self._bytes.get(addr + i, 0) for i in range(size))

@@ -59,3 +59,11 @@ class TLB:
         self._pages.clear()
         if self.on_flush is not None:
             self.on_flush()
+
+    def reset(self) -> None:
+        """Restore post-construction state without firing ``on_flush``
+        (``Core.reset()`` clears the micro-op cache itself)."""
+        self._pages.clear()
+        self.refs = 0
+        self.misses = 0
+        self.flushes = 0

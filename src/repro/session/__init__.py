@@ -1,0 +1,5 @@
+"""Attack-session layer: shared driver lifecycle over reusable cores."""
+
+from repro.session.base import AttackSession, read_elapsed
+
+__all__ = ["AttackSession", "read_elapsed"]

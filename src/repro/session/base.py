@@ -1,0 +1,165 @@
+"""The attack-session layer: one lifecycle for every attack driver.
+
+Every attack in the paper -- the tiger/zebra covert channels
+(Section V), the Spectre variants (Section VI) and the key extraction
+(Section VI-B) -- shares the same skeleton: build a program, construct
+a core, prime/send/probe, calibrate a timing threshold, classify.
+:class:`AttackSession` owns that skeleton once, so the eight drivers
+in :mod:`repro.core` shrink to their program builder plus send/probe
+hooks and none of the glue can drift between copies.
+
+The layer also owns the core's *lifecycle*: repeated trials reuse one
+``Core`` through :meth:`AttackSession.reset` instead of re-assembling
+and rebuilding per trial.  ``Core.reset()`` restores the
+post-construction state exactly (the reset-parity tests assert
+byte-identical trials) while keeping the assembled program and the
+front end's memoized region decodes -- which is where the trial
+throughput comes from (see ``benchmarks/test_session_throughput.py``).
+
+Subclass contract::
+
+    class MyAttack(AttackSession):
+        def __init__(self, ..., config=None, noise=None):
+            self.knob = ...              # anything build_program needs
+            super().__init__(config or CPUConfig.skylake(), noise)
+
+        def build_program(self):         # required
+            ...
+        def setup(self):                 # optional: post-assembly pokes
+            ...                          # (re-applied after every reset)
+
+``setup()`` exists because some drivers patch memory after assembly
+(function-pointer tables, planted calibration bytes); a reset re-images
+memory from the program, so those pokes must be re-applied through the
+hook rather than inline in ``__init__``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.timing import ProbeTiming, TimingClassifier
+from repro.cpu.config import CPUConfig
+from repro.cpu.core import Core
+from repro.cpu.counters import PerfCounters
+from repro.cpu.noise import NoiseModel
+from repro.isa.program import Program
+
+#: Sentinel for ``reset(noise=...)``: "keep the current model".
+_KEEP_NOISE = object()
+
+
+def read_elapsed(core: Core, addr: int) -> int:
+    """Read a stored RDTSC delta, clamping wraparound to zero.
+
+    With timer jitter two nearby RDTSC reads can appear to go
+    backwards; the subtraction then wraps around 2^64.  Attackers
+    clamp such garbage samples, and so do we.
+    """
+    value = core.read_mem(addr)
+    if value >> 63:
+        return 0
+    return value
+
+
+class AttackSession:
+    """Base class owning program build, core lifecycle, cycle
+    accounting and calibration for one attack instance."""
+
+    def __init__(self, config: CPUConfig, noise: Optional[NoiseModel] = None):
+        self.config = config
+        self.noise = noise
+        self.program = self.build_program()
+        self.core = Core(config, self.program, noise=noise)
+        self.total_cycles = 0
+        self.timing: Optional[ProbeTiming] = None
+        self.classifier: Optional[TimingClassifier] = None
+        self.setup()
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+
+    def build_program(self) -> Program:
+        """Assemble the attack's program (called once, at construction)."""
+        raise NotImplementedError
+
+    def setup(self) -> None:
+        """Post-assembly state installation (e.g. function-pointer
+        tables).  Runs after construction and after every
+        :meth:`reset`; keep it idempotent and architectural-only."""
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def reset(self, noise=_KEEP_NOISE) -> None:
+        """Return the session to its just-constructed state.
+
+        Delegates to ``Core.reset()`` (which keeps the assembled
+        program and decode memos), zeroes the cycle account, drops the
+        fitted classifier, and re-runs :meth:`setup`.  By default the
+        existing noise model is kept and rewound to its seed; pass a
+        model (or ``None``) to swap it.
+        """
+        if noise is _KEEP_NOISE:
+            self.core.reset()
+        else:
+            self.core.reset(noise=noise)
+            self.noise = noise
+        self.total_cycles = 0
+        self.timing = None
+        self.classifier = None
+        self.setup()
+
+    def run_trials(self, trial: Callable[["AttackSession"], object],
+                   n: int, reset_between: bool = True) -> List[object]:
+        """Run ``trial(self)`` ``n`` times, resetting the session
+        before each so every trial starts from the identical
+        post-construction state (cheap: no rebuild)."""
+        results = []
+        for _ in range(n):
+            if reset_between:
+                self.reset()
+            results.append(trial(self))
+        return results
+
+    # ------------------------------------------------------------------
+    # cycle accounting (the one home for total_cycles)
+
+    def _call(self, label: str, regs: Optional[Dict[str, int]] = None,
+              thread_id: int = 0) -> PerfCounters:
+        """Run ``label`` on one thread, charging its cycles to the
+        session's account."""
+        delta = self.core.call(label, thread_id=thread_id, regs=regs)
+        self.total_cycles += self.core.cycles(thread_id)
+        return delta
+
+    def _run_smt(
+        self,
+        entries: Tuple,
+        regs: Tuple[Optional[Dict[str, int]], Optional[Dict[str, int]]] = (None, None),
+    ) -> Tuple[PerfCounters, PerfCounters]:
+        """Run both SMT threads, charging the slower thread's cycles."""
+        deltas = self.core.run_smt(entries, regs=regs)
+        self.total_cycles += max(self.core.cycles(0), self.core.cycles(1))
+        return deltas
+
+    # ------------------------------------------------------------------
+    # measurement glue
+
+    def _elapsed(self, addr: int) -> int:
+        """Read a stored RDTSC delta (wraparound-clamped)."""
+        return read_elapsed(self.core, addr)
+
+    def _probe_time(self, label: str = "probe",
+                    result: str = "probe_result") -> int:
+        """Run the timed probe and read back its RDTSC delta."""
+        self._call(label)
+        return self._elapsed(self.core.addr_of(result))
+
+    def _fit(self, hits: Sequence[float],
+             misses: Sequence[float]) -> ProbeTiming:
+        """Fit the hit/miss threshold from calibration samples and
+        install the classifier."""
+        self.timing = ProbeTiming(hits, misses)
+        self.classifier = TimingClassifier.from_timing(self.timing)
+        return self.timing

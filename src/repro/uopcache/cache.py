@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -213,10 +214,33 @@ class UopCache:
             self.stats.fill_rejects += 1
             return False
         ways.remove(victim)
+        self.policy.on_evict(victim, state)
         self.stats.evictions += 1
         self.policy.on_fill(line, self._tick)
         ways.append(line)
         self.stats.lines_filled += 1
+        return True
+
+    def evict_random(self, rng: random.Random) -> bool:
+        """Evict one uniformly random resident line.
+
+        Models external interference (unrelated code sharing the
+        structure): a random occupied set is chosen, then a random way
+        within it, and the victim is retired through the replacement
+        policy's ``on_evict`` bookkeeping.  This is the public path
+        :class:`repro.cpu.noise.NoiseModel` uses; nothing outside this
+        module should touch ``_sets`` directly.
+
+        Returns True if a line was evicted, False if the cache is empty.
+        """
+        occupied = [i for i in range(self.sets) if self._sets[i]]
+        if not occupied:
+            return False
+        idx = rng.choice(occupied)
+        ways = self._sets[idx]
+        victim = ways.pop(rng.randrange(len(ways)))
+        self.policy.on_evict(victim, self._set_state[idx])
+        self.stats.evictions += 1
         return True
 
     # ------------------------------------------------------------------
@@ -229,6 +253,22 @@ class UopCache:
             ways.clear()
         for state in self._set_state:
             state.clear()
+
+    def reset(self) -> None:
+        """Restore post-construction state: empty sets, zeroed stats.
+
+        Unlike :meth:`flush` this does not count as a flush event and
+        also rewinds the replacement tick and SMT mode -- it exists for
+        ``Core.reset()``, where the whole structure must be
+        indistinguishable from a freshly built one.
+        """
+        for ways in self._sets:
+            ways.clear()
+        for state in self._set_state:
+            state.clear()
+        self._tick = 0
+        self.smt_active = False
+        self.stats.reset()
 
     def invalidate_code_range(self, start: int, end: int) -> int:
         """Evict lines whose region overlaps [start, end).

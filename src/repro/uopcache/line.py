@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.isa.instruction import MicroOp
 
 
-@dataclass
+@dataclass(slots=True)
 class UopCacheLine:
     """A single way's worth of cached micro-ops.
 

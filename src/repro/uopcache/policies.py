@@ -53,6 +53,18 @@ class ReplacementPolicy:
         """
         raise NotImplementedError
 
+    def on_evict(self, line: UopCacheLine, state: Dict) -> None:
+        """Bookkeeping when ``line`` leaves the set -- whether as a
+        fill victim or through external interference
+        (:meth:`UopCache.evict_random`).
+
+        The default is a no-op: both bundled policies keep per-line
+        state on the line itself, and the CLOCK hand is taken modulo
+        the live way count, so a disappearing way needs no repair.
+        Stateful policies (e.g. tree-PLRU over way indices) override
+        this to keep their ``state`` dict consistent.
+        """
+
 
 class HotnessPolicy(ReplacementPolicy):
     """Saturating-counter hotness replacement with rotating wear-down.

@@ -99,3 +99,33 @@ def test_cache_stats_and_clear(tmp_path, capsys):
     assert "removed 8" in capsys.readouterr().out
     assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
     assert "0 cached result(s)" in capsys.readouterr().out
+
+
+def test_batch_attacks_cold_then_warm(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    args = ["batch", "attacks", "--fast", "--cache-dir", cache_dir]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "12 executed, 0 from cache" in out
+    assert "Spectre (uop cache)" in out
+    assert "key extraction: 1/1 exact" in out
+    assert "fence signal" in out
+
+    # Warm re-run: the whole evaluation without one simulation.
+    assert main(args) == 0
+    assert "0 executed, 12 from cache" in capsys.readouterr().out
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "characterize", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "profile: characterize" in out
+    assert "cumulative" in out
+    assert "size_point" in out
+
+
+def test_profile_unknown_experiment():
+    import pytest as _pytest
+
+    with _pytest.raises(SystemExit):
+        main(["profile", "frobnicate"])

@@ -45,3 +45,10 @@ def test_examples_all_have_docstrings_and_main():
         assert source.lstrip().startswith(('#!/usr/bin/env python3', '"""')), path
         assert "def main(" in source, path
         assert '__name__ == "__main__"' in source, path
+
+
+def test_attack_sessions(capsys):
+    load_example("attack_sessions").main()
+    out = capsys.readouterr().out
+    assert "byte-identical (reset parity)" in out
+    assert "reset-reuse" in out

@@ -1,0 +1,219 @@
+"""Reset parity: a reused (reset) session is byte-identical to a
+fresh one.
+
+``Core.reset()`` keeps the assembled program and the front end's
+decode memos but restores every piece of post-construction *state* --
+registers, memory image, micro-op cache, hierarchy, predictors, store
+buffers, speculation bookkeeping, counters.  Because the simulator is
+deterministic (noise models rewind to their seed on reset), the first
+run after a reset must reproduce the first run after construction
+exactly.  Every attack driver is checked here; the harness cache and
+the throughput benchmark both lean on this guarantee.
+"""
+
+import random
+
+from repro.core.bti import BranchTargetInjection
+from repro.core.covert import ChannelParams, CovertChannel
+from repro.core.crossdomain import CrossDomainChannel, CrossDomainParams
+from repro.core.keyextract import ModexpVictim
+from repro.core.smtchannel import SMTChannel, SMTChannelParams
+from repro.core.transient import (
+    ClassicSpectreV1,
+    LfenceBypass,
+    UopCacheSpectreV1,
+)
+from repro.core.transient_multibit import JumpTableSpectre
+from repro.cpu.noise import NoiseModel
+from repro.uopcache.cache import UopCache
+from repro.uopcache.placement import LineSpec
+
+
+def _noise():
+    """Mild seeded interference: exercises the reseed-on-reset path."""
+    return NoiseModel(evict_prob=0.02, jitter_sd=10.0, seed=11)
+
+
+# ----------------------------------------------------------------------
+# UopCache.evict_random (the public replacement-aware eviction the
+# noise model uses)
+
+
+class TestEvictRandom:
+    def test_empty_cache_returns_false(self):
+        uc = UopCache()
+        assert uc.evict_random(random.Random(0)) is False
+        assert uc.stats.evictions == 0
+
+    def test_removes_one_line_and_counts(self):
+        uc = UopCache()
+        for set_idx in (0, 5, 9):
+            uc.fill(0, 0x40_0000 + set_idx * 32, [LineSpec((), 6)])
+        before = uc.occupancy()
+        assert uc.evict_random(random.Random(1)) is True
+        assert uc.occupancy() == before - 1
+        assert uc.stats.evictions == 1
+
+    def test_only_occupied_sets_are_candidates(self):
+        uc = UopCache()
+        uc.fill(0, 0x40_0000 + 7 * 32, [LineSpec((), 6)])
+        assert uc.evict_random(random.Random(2)) is True
+        assert uc.lines_in_set(7) == []
+
+    def test_uopcache_reset_empties_everything(self):
+        uc = UopCache()
+        uc.fill(0, 0x40_0000, [LineSpec((), 6)])
+        uc.lookup(0, 0x40_0000)
+        uc.reset()
+        assert uc.occupancy() == 0
+        assert uc.stats.lookups == 0
+        assert uc.stats.fills == 0
+
+
+# ----------------------------------------------------------------------
+# Core-level reset parity
+
+
+class TestCoreReset:
+    def test_counters_and_memory_parity(self):
+        chan = CovertChannel(ChannelParams(), noise=_noise())
+        core = chan.core
+
+        def run():
+            delta = core.call("probe")
+            return (
+                delta.as_dict(),
+                core.counters(0).as_dict(),
+                core.read_mem(core.addr_of("probe_result")),
+                core.cycles(0),
+            )
+
+        first = run()
+        second_hot = run()  # warmed caches: must differ from cold
+        core.reset()
+        assert run() == first
+        assert second_hot != first  # the parity above is not vacuous
+
+    def test_reset_restores_memory_image(self):
+        chan = CovertChannel(ChannelParams())
+        core = chan.core
+        addr = core.addr_of("probe_result")
+        core.write_mem(addr, 0xDEAD)
+        core.reset()
+        assert core.read_mem(addr) == 0
+
+    def test_reset_swaps_noise_model(self):
+        chan = CovertChannel(ChannelParams(), noise=_noise())
+        chan.reset(noise=None)
+        assert chan.noise is None
+        assert chan.core.noise is None
+        assert chan.core.backend.rdtsc_jitter is None
+
+
+# ----------------------------------------------------------------------
+# Driver-level reset parity: one test per attack
+
+
+def _covert_trial(chan):
+    return chan.transmit(b"u")
+
+
+def _assert_reset_parity(session, trial):
+    """Run, reset, run again: results must be identical."""
+    first = trial(session)
+    session.reset()
+    second = trial(session)
+    assert first == second
+
+
+class TestDriverResetParity:
+    def test_covert_channel(self):
+        _assert_reset_parity(
+            CovertChannel(ChannelParams(), noise=_noise()), _covert_trial
+        )
+
+    def test_crossdomain_channel(self):
+        _assert_reset_parity(
+            CrossDomainChannel(CrossDomainParams(), noise=_noise()),
+            _covert_trial,
+        )
+
+    def test_smt_channel(self):
+        _assert_reset_parity(
+            SMTChannel(SMTChannelParams(), noise=_noise()), _covert_trial
+        )
+
+    def test_uop_cache_spectre(self):
+        attack = UopCacheSpectreV1(secret=b"\xa5", noise=_noise())
+
+        def trial(a):
+            stats = a.leak()
+            return (stats.leaked, stats.total_cycles,
+                    stats.counters.as_dict())
+
+        _assert_reset_parity(attack, trial)
+
+    def test_classic_spectre(self):
+        attack = ClassicSpectreV1(secret=b"\xa5")
+
+        def trial(a):
+            stats = a.leak()
+            return (stats.leaked, stats.total_cycles,
+                    stats.counters.as_dict())
+
+        _assert_reset_parity(attack, trial)
+
+    def test_lfence_bypass(self):
+        attack = LfenceBypass()
+
+        def trial(a):
+            sig = a.measure("nf", rounds=2)
+            return (sig.timing.hit_times, sig.timing.miss_times)
+
+        _assert_reset_parity(attack, trial)
+
+    def test_jump_table_spectre(self):
+        attack = JumpTableSpectre(secret=b"\xa5")
+
+        def trial(a):
+            stats = a.leak()
+            return (stats.leaked, stats.total_cycles)
+
+        _assert_reset_parity(attack, trial)
+
+    def test_branch_target_injection(self):
+        attack = BranchTargetInjection(secret=b"\xa5", noise=_noise())
+
+        def trial(a):
+            stats = a.leak()
+            return (stats.leaked, stats.total_cycles)
+
+        _assert_reset_parity(attack, trial)
+
+    def test_modexp_victim(self):
+        victim = ModexpVictim(nbits=8, spy_samples=64)
+
+        def trial(v):
+            return v.run_pair(0xB5)
+
+        _assert_reset_parity(victim, trial)
+
+
+# ----------------------------------------------------------------------
+# run_trials: the batched form of the same guarantee
+
+
+class TestRunTrials:
+    def test_trials_are_identical(self):
+        chan = CovertChannel(ChannelParams(), noise=_noise())
+        reports = chan.run_trials(_covert_trial, 3)
+        assert reports[0] == reports[1] == reports[2]
+
+    def test_no_reset_differs(self):
+        # Without the reset the second trial sees warmed caches --
+        # which is exactly why run_trials resets by default.
+        chan = CovertChannel(ChannelParams(), noise=_noise())
+        a, b = chan.run_trials(
+            lambda c: c.calibrate(), 2, reset_between=False
+        )
+        assert (a.hit_times, a.miss_times) != (b.hit_times, b.miss_times)
