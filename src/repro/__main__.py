@@ -18,6 +18,10 @@ Batch orchestration (``repro.harness``):
   transient variants as one cached grid)
 - ``cache``         -- inspect / clear the content-addressed result store
 - ``profile``       -- cProfile a seconds-scale slice of an experiment
+- ``trace``         -- run an experiment under the structured event bus
+  (``repro.observe``): event summary, optional set-occupancy heatmaps
+  (``--heatmap``) and Chrome trace-event export (``--chrome out.json``,
+  loadable in chrome://tracing or Perfetto)
 """
 
 from __future__ import annotations
@@ -379,6 +383,161 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Structured tracing (repro.observe)
+
+
+def _trace_covert():
+    from repro.core.covert import ChannelParams, CovertChannel
+    from repro.observe import OccupancySnapshot, TraceRecorder
+
+    channel = CovertChannel(ChannelParams())
+    recorder = TraceRecorder().connect(channel.core)
+    channel.transmit(b"uop")
+    recorder.close()
+    # Reproduce Listing 1's conflict pattern for the heatmaps: prime
+    # the receiver, then run the tiger (same stripes: conflict) and
+    # the zebra (complementary stripes: no conflict).
+    channel.reset()
+    capture = OccupancySnapshot.capture
+    channel._prime()
+    snaps = [capture(channel.core.uop_cache, "receiver primed")]
+    channel._send(1)
+    snaps.append(capture(channel.core.uop_cache, "after tiger (bit=1)"))
+    channel._send(0)
+    snaps.append(capture(channel.core.uop_cache, "after zebra (bit=0)"))
+    return recorder, snaps
+
+
+def _trace_spectre():
+    from repro.core.transient import UopCacheSpectreV1
+    from repro.observe import OccupancySnapshot, TraceRecorder
+
+    attack = UopCacheSpectreV1(secret=b"\xa5")
+    recorder = TraceRecorder().connect(attack.core)
+    attack.leak()
+    recorder.close()
+    return recorder, [
+        OccupancySnapshot.capture(attack.core.uop_cache, "after leak")
+    ]
+
+
+def _trace_classic():
+    from repro.core.transient import ClassicSpectreV1
+    from repro.observe import OccupancySnapshot, TraceRecorder
+
+    attack = ClassicSpectreV1(secret=b"\xa5")
+    recorder = TraceRecorder().connect(attack.core)
+    attack.leak()
+    recorder.close()
+    return recorder, [
+        OccupancySnapshot.capture(attack.core.uop_cache, "after leak")
+    ]
+
+
+def _trace_smt():
+    from repro.core.smtchannel import SMTChannel, SMTChannelParams
+    from repro.observe import OccupancySnapshot, TraceRecorder
+
+    channel = SMTChannel(SMTChannelParams())
+    recorder = TraceRecorder().connect(channel.core)
+    channel.transmit(b"u")
+    recorder.close()
+    return recorder, [
+        OccupancySnapshot.capture(channel.core.uop_cache, "after transmit")
+    ]
+
+
+def _trace_keyextract():
+    from repro.core.keyextract import KeyExtractor
+    from repro.observe import OccupancySnapshot, TraceRecorder
+
+    extractor = KeyExtractor(nbits=8)
+    # the victim session (and its core) is built lazily and reused
+    # across runs; reset() keeps observe subscribers attached
+    core = extractor._victim_session().core
+    recorder = TraceRecorder().connect(core)
+    extractor.extract(0xB5)
+    recorder.close()
+    return recorder, [
+        OccupancySnapshot.capture(core.uop_cache, "after extraction")
+    ]
+
+
+#: Seconds-scale named experiments for ``repro trace`` (each returns a
+#: closed TraceRecorder and a list of occupancy snapshots).
+_TRACE_TARGETS = {
+    "covert": _trace_covert,
+    "spectre": _trace_spectre,
+    "classic": _trace_classic,
+    "smt": _trace_smt,
+    "keyextract": _trace_keyextract,
+}
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import hashlib
+    import json
+
+    from repro.harness.job import CACHE_SCHEMA_VERSION, canonical_json
+    from repro.observe import (
+        chrome_trace,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    recorder, snaps = _TRACE_TARGETS[args.experiment]()
+
+    print(f"trace: {args.experiment} -- {len(recorder.events)} events")
+    for kind, count in sorted(recorder.counts().items()):
+        print(f"  {kind:16s} {count:8d}")
+    by_source = recorder.uops_by_source()
+    if by_source:
+        rendered = ", ".join(
+            f"{source}={n}" for source, n in sorted(by_source.items())
+        )
+        print(f"  uops by source: {rendered}")
+
+    if args.heatmap:
+        for snap in snaps:
+            print()
+            print(snap.render_text())
+
+    doc = chrome_trace(recorder.events, process_name=f"repro:{args.experiment}")
+    problems = validate_chrome_trace(doc)
+    if problems:
+        print("chrome trace export is invalid:")
+        for problem in problems[:10]:
+            print(f"  {problem}")
+        return 1
+    if args.chrome:
+        write_chrome_trace(args.chrome, doc)
+        print(f"wrote {args.chrome} ({len(doc['traceEvents'])} trace events)")
+
+    cache = _make_cache(args)
+    if cache is not None:
+        key = hashlib.sha256(
+            canonical_json(
+                {
+                    "schema": CACHE_SCHEMA_VERSION,
+                    "kind": "trace",
+                    "experiment": args.experiment,
+                }
+            )
+        ).hexdigest()
+        cache.put_artifact(key, "events.json", json.dumps(recorder.as_records()))
+        cache.put_artifact(key, "chrome.json", json.dumps(doc))
+        for i, snap in enumerate(snaps):
+            cache.put_artifact(
+                key, f"heatmap-{i}.json", json.dumps(snap.to_json())
+            )
+        print(
+            f"cached {2 + len(snaps)} artifact(s) under "
+            f"{cache.artifact_path(key, 'events.json').parent}"
+        )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.harness import ResultCache
 
@@ -481,6 +640,27 @@ def main(argv=None) -> int:
     p.add_argument("--top", type=int, default=20, metavar="N",
                    help="rows of the report (default 20)")
     p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "trace",
+        help="run an experiment under the structured event bus",
+        description="Run a seconds-scale slice of an experiment with "
+                    "repro.observe attached: print an event summary, "
+                    "optionally render micro-op cache occupancy heatmaps "
+                    "and export a Chrome trace-event JSON timeline.",
+    )
+    p.add_argument("experiment", choices=sorted(_TRACE_TARGETS))
+    p.add_argument("--chrome", metavar="PATH", default=None,
+                   help="write the run as Chrome trace-event JSON "
+                        "(chrome://tracing / Perfetto)")
+    p.add_argument("--heatmap", action="store_true",
+                   help="render per-set/way occupancy heatmaps")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="artifact store location (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="do not persist trace artifacts")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("cache", help="inspect/clear the result store")
     p.add_argument("action", choices=["stats", "clear"])

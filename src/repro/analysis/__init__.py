@@ -12,10 +12,11 @@ from repro.analysis.channel import (
     effective_goodput_kbps,
     recommend_rs_parity,
 )
-from repro.analysis.detector import DetectorROC, roc_sweep
+from repro.analysis.detector import DetectorROC, OperatingPoint, roc_sweep
 
 __all__ = [
     "DetectorROC",
+    "OperatingPoint",
     "bsc_capacity",
     "effective_goodput_kbps",
     "recommend_rs_parity",

@@ -9,7 +9,23 @@ trace pair.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One detector operating point: a threshold and its error rates.
+
+    Plain finite floats throughout, so it serialises straight to JSON
+    (unlike the old ``float("inf")`` sentinel it replaces).
+    """
+
+    threshold: float
+    fpr: float
+    tpr: float
+
+    def as_dict(self) -> dict:
+        return {"threshold": self.threshold, "fpr": self.fpr, "tpr": self.tpr}
 
 
 @dataclass
@@ -28,15 +44,17 @@ class DetectorROC:
             area += (x1 - x0) * (y0 + y1) / 2.0
         return area
 
-    def best_threshold(self, max_fpr: float = 0.01) -> Tuple[float, float]:
-        """Highest-TPR threshold whose FPR stays within budget.
+    def best_threshold(self, max_fpr: float = 0.01) -> Optional[OperatingPoint]:
+        """Highest-TPR operating point whose FPR stays within budget.
 
-        Returns (threshold, tpr); tpr is 0.0 if nothing qualifies.
+        Returns ``None`` when no swept point meets the budget -- an
+        explicit answer instead of the old non-JSON-serialisable
+        ``float("inf")`` sentinel.
         """
-        best = (float("inf"), 0.0)
+        best: Optional[OperatingPoint] = None
         for threshold, fpr, tpr in self.points:
-            if fpr <= max_fpr and tpr > best[1]:
-                best = (threshold, tpr)
+            if fpr <= max_fpr and (best is None or tpr > best.tpr):
+                best = OperatingPoint(threshold, fpr, tpr)
         return best
 
 
@@ -45,12 +63,18 @@ def roc_sweep(
     attack_windows: Sequence[float],
     n_thresholds: int = 64,
 ) -> DetectorROC:
-    """Sweep the miss-count threshold across the observed range."""
+    """Sweep the miss-count threshold across the observed range.
+
+    The curve always includes the all-positive endpoint (a threshold
+    below every observed window, so ``fpr == tpr == 1.0``): the swept
+    points span the full ROC range rather than relying on the AUC
+    computation to pad in the corners.
+    """
     if not benign_windows or not attack_windows:
         raise ValueError("need both benign and attack windows")
     lo = min(min(benign_windows), min(attack_windows))
     hi = max(max(benign_windows), max(attack_windows))
-    points = []
+    points = [(lo - 1.0, 1.0, 1.0)]
     for i in range(n_thresholds + 1):
         threshold = lo + (hi - lo) * i / n_thresholds
         fpr = sum(1 for w in benign_windows if w > threshold) / len(

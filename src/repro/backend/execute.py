@@ -249,7 +249,11 @@ class Backend:
         elif kind is UopKind.RDTSC:
             value = start
             if self.rdtsc_jitter is not None:
-                value = max(0, value + self.rdtsc_jitter())
+                # Hardware TSCs never run backwards: jitter that would
+                # drop a read below the previous one (making short probe
+                # deltas negative) is clamped to the last value.
+                value = max(thread.last_rdtsc, value + self.rdtsc_jitter())
+            thread.last_rdtsc = value
             regs[uop.dst] = value
         elif kind is UopKind.CLFLUSH:
             if not data_hidden:

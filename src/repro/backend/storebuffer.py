@@ -64,18 +64,26 @@ class StoreBuffer:
         self._entries = [e for e in self._entries if e.seq <= seq]
         return before - len(self._entries)
 
-    def drain_upto(self, seq: int, memory: MainMemory) -> None:
-        """Commit entries with sequence <= ``seq`` to memory."""
+    def drain_upto(self, seq: int, memory: MainMemory, on_commit=None) -> None:
+        """Commit entries with sequence <= ``seq`` to memory.
+
+        ``on_commit``, when given, is invoked with each committed entry
+        (the observability layer's store-commit hook).
+        """
         remaining: List[_Entry] = []
         for entry in self._entries:
             if entry.seq <= seq:
                 memory.write(entry.addr, entry.value, entry.size)
+                if on_commit is not None:
+                    on_commit(entry)
             else:
                 remaining.append(entry)
         self._entries = remaining
 
-    def drain_all(self, memory: MainMemory) -> None:
+    def drain_all(self, memory: MainMemory, on_commit=None) -> None:
         """Commit everything (end of a non-speculative run)."""
         for entry in self._entries:
             memory.write(entry.addr, entry.value, entry.size)
+            if on_commit is not None:
+                on_commit(entry)
         self._entries.clear()

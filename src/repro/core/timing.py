@@ -9,6 +9,7 @@ known states and splitting the distributions.
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass, field
 from typing import Callable, List, Sequence
@@ -38,13 +39,20 @@ class ProbeTiming:
 
     @property
     def delta_sd(self) -> float:
-        """Pooled standard deviation of the signal."""
-        parts = []
-        if len(self.hit_times) > 1:
-            parts.append(statistics.stdev(self.hit_times))
-        if len(self.miss_times) > 1:
-            parts.append(statistics.stdev(self.miss_times))
-        return max(parts) if parts else 0.0
+        """Pooled standard deviation of the signal.
+
+        The degrees-of-freedom-weighted pooled estimate
+        ``sqrt(sum((n_i - 1) * s_i^2) / sum(n_i - 1))`` over whichever
+        sides have at least two samples; 0.0 when neither does.
+        """
+        weighted = 0.0
+        dof = 0
+        for times in (self.hit_times, self.miss_times):
+            n = len(times)
+            if n > 1:
+                weighted += (n - 1) * statistics.variance(times)
+                dof += n - 1
+        return math.sqrt(weighted / dof) if dof else 0.0
 
     @property
     def threshold(self) -> float:

@@ -41,6 +41,14 @@ from repro.isa.instruction import BranchKind, UopKind
 from repro.isa.program import Program
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.mainmem import MainMemory
+from repro.observe.events import (
+    BRANCH_RESOLVE,
+    FETCH_BLOCK,
+    SQUASH,
+    STORE_COMMIT,
+    Event,
+    EventBus,
+)
 from repro.uopcache.cache import UopCache
 from repro.uopcache.policies import make_policy
 
@@ -143,9 +151,13 @@ class Core:
             ThreadContext(thread_id=1),
         )
         self._spec = (_SpecState(), _SpecState())
-        #: Optional list collecting (cycle, entry, kind, source, n_uops)
-        #: per fetch block -- a debugging aid, None disables tracing.
-        self.trace: Optional[list] = None
+        #: Observability bus (``None`` until :meth:`observe` attaches
+        #: one) -- every hook site guards on this single attribute.
+        self.observer: Optional[EventBus] = None
+        # Legacy ``trace`` list and its bus subscription (see the
+        # ``trace`` property).
+        self._trace: Optional[list] = None
+        self._trace_sub = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -166,8 +178,8 @@ class Core:
         rewound to its seed, so reset trials replay the same noise
         sequence a fresh core would draw.
 
-        The ``trace`` hook is a debugging aid, not simulation state,
-        and is left alone.
+        The ``trace`` hook and any :meth:`observe` subscribers are
+        debugging aids, not simulation state, and are left alone.
         """
         if noise is not _KEEP_NOISE:
             self.noise = noise
@@ -198,6 +210,90 @@ class Core:
         self.uop_cache.invalidate_code_range(
             line_base, line_base + self.hierarchy.l1i.line_size
         )
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def observe(self) -> EventBus:
+        """The core's structured event bus, created on first use.
+
+        Attaching the bus wires the front end and micro-op cache hook
+        sites to it; until then (``self.observer is None``) every hook
+        is a single attribute check, so unobserved cores pay nothing.
+        See :mod:`repro.observe` for the consumers.
+        """
+        if self.observer is None:
+            bus = EventBus()
+            self.observer = bus
+            self.frontend.observer = bus
+            self.uop_cache.observer = bus
+        return self.observer
+
+    def unobserve(self) -> None:
+        """Detach the event bus (and any subscribers) entirely.
+
+        Also severs the legacy ``trace`` collector; the collected list
+        stays readable but no longer grows.
+        """
+        self.observer = None
+        self.frontend.observer = None
+        self.uop_cache.observer = None
+        self._trace_sub = None
+
+    @property
+    def trace(self) -> Optional[list]:
+        """Legacy fetch-block trace: a list of ``(cycle, entry, kind,
+        source, n_uops)`` tuples, or None when tracing is off.
+
+        Kept for backward compatibility with
+        :mod:`repro.cpu.tracing`'s formatters; assigning a list
+        subscribes a collector on the structured event bus, so the
+        tuples are now a *view* of ``fetch_block`` events.  Prefer
+        :class:`repro.observe.TraceRecorder` for new code.
+        """
+        return self._trace
+
+    @trace.setter
+    def trace(self, value: Optional[list]) -> None:
+        if self._trace_sub is not None and self.observer is not None:
+            self.observer.unsubscribe(self._trace_sub)
+            self._trace_sub = None
+        self._trace = value
+        if value is None:
+            return
+
+        def _collect(event: Event, _core=self) -> None:
+            data = event.data
+            _core._trace.append(
+                (
+                    event.cycle,
+                    data["entry"],
+                    data["kind"],
+                    data["source"],
+                    data["n_uops"],
+                )
+            )
+
+        self._trace_sub = self.observe().subscribe(_collect, (FETCH_BLOCK,))
+
+    def _commit_hook(self, thread: ThreadContext):
+        """Store-commit callback for the drain sites (None when idle)."""
+        obs = self.observer
+        if obs is None or not obs.wants(STORE_COMMIT):
+            return None
+
+        def _on_commit(entry, _obs=obs, _thread=thread) -> None:
+            _obs.emit(
+                STORE_COMMIT,
+                _thread.fetch_clock,
+                _thread.thread_id,
+                seq=entry.seq,
+                addr=entry.addr,
+                size=entry.size,
+                value=entry.value,
+            )
+
+        return _on_commit
 
     # ------------------------------------------------------------------
     # public conveniences
@@ -340,14 +436,33 @@ class Core:
         if thread.halted:
             return
 
+        obs = self.observer
+        if obs is not None:
+            # Attribution hints for clockless components (uop cache).
+            self.uop_cache.obs_cycle = thread.fetch_clock
+            self.uop_cache.obs_thread = thread.thread_id
+
         if self.noise is not None:
             self.noise.maybe_evict(self.uop_cache)
 
         block = self.frontend.fetch_block(thread)
-        if self.trace is not None:
-            self.trace.append(
-                (thread.fetch_clock, block.entry, block.kind, block.source,
-                 len(block.dynuops))
+        if obs is not None and obs.wants(FETCH_BLOCK):
+            # Early fault blocks never charge the fetch clock; every
+            # other block costs at least one cycle.
+            charged = (
+                0
+                if block.kind == BLOCK_FAULT and not block.dynuops
+                else max(block.cycles, 1)
+            )
+            obs.emit(
+                FETCH_BLOCK,
+                thread.fetch_clock,
+                thread.thread_id,
+                entry=block.entry,
+                kind=block.kind,
+                source=block.source,
+                n_uops=len(block.dynuops),
+                cycles=charged,
             )
 
         halt_seq: Optional[int] = None
@@ -419,7 +534,10 @@ class Core:
                 self._wait_for_resolution(thread, spec)
             else:
                 thread.halted = True
-                self.backend.store_buffer(thread.thread_id).drain_all(self.memory)
+                self.backend.store_buffer(thread.thread_id).drain_all(
+                    self.memory,
+                    self._commit_hook(thread) if self.observer is not None else None,
+                )
                 spec.head_seqs.clear()
                 return
         elif block.kind == BLOCK_FAULT:
@@ -442,7 +560,10 @@ class Core:
         )
         if halt_committed and not thread.halted:
             thread.halted = True
-            self.backend.store_buffer(thread.thread_id).drain_all(self.memory)
+            self.backend.store_buffer(thread.thread_id).drain_all(
+                self.memory,
+                self._commit_hook(thread) if self.observer is not None else None,
+            )
             spec.head_seqs.clear()
             return
 
@@ -454,7 +575,11 @@ class Core:
 
         # Commit stores that can no longer be squashed.
         safe = min((p.seq for p in spec.pending), default=spec.seq)
-        self.backend.store_buffer(thread.thread_id).drain_upto(safe, self.memory)
+        self.backend.store_buffer(thread.thread_id).drain_upto(
+            safe,
+            self.memory,
+            self._commit_hook(thread) if self.observer is not None else None,
+        )
         if not spec.pending:
             spec.head_seqs.clear()
 
@@ -483,6 +608,18 @@ class Core:
             return
         actual = resolve.actual_target
         mispredicted = pred.target is not None and pred.target != actual
+        obs = self.observer
+        if obs is not None and obs.wants(BRANCH_RESOLVE):
+            obs.emit(
+                BRANCH_RESOLVE,
+                resolve.resolve_cycle,
+                thread.thread_id,
+                rip=du.macro.addr,
+                predicted=pred.target,
+                taken=resolve.taken,
+                actual=actual,
+                mispredicted=mispredicted,
+            )
         thread.predictor.resolve(
             du.macro, resolve.taken, actual if actual is not None else 0, mispredicted
         )
@@ -528,6 +665,16 @@ class Core:
     ) -> None:
         cp = pending.checkpoint
         squashed = spec.seq - pending.seq
+        obs = self.observer
+        if obs is not None and obs.wants(SQUASH):
+            obs.emit(
+                SQUASH,
+                pending.resolve_cycle,
+                thread.thread_id,
+                seq=pending.seq,
+                squashed=squashed,
+                correct_rip=pending.correct_rip,
+            )
         thread.counters.squashes += 1
         thread.counters.squashed_uops += squashed
         thread.counters.retired_uops -= squashed

@@ -57,7 +57,13 @@ class NoiseModel:
         uop_cache.evict_random(self._rng)
 
     def rdtsc_jitter(self) -> int:
-        """Cycles of jitter to add to one RDTSC read."""
+        """Cycles of jitter to add to one RDTSC read.
+
+        May be negative; the backend clamps the jittered read at the
+        point of use so consecutive RDTSC values stay monotonic (a
+        short probe's delta can therefore be squeezed toward zero, but
+        never go negative and wrap).
+        """
         if self.jitter_sd <= 0.0:
             return 0
         return int(round(self._rng.gauss(0.0, self.jitter_sd)))

@@ -56,6 +56,7 @@ class ThreadContext:
     dispatch_cycle: int = 0
     dispatch_slots_used: int = 0
     last_retire: int = 0
+    last_rdtsc: int = 0  # previous RDTSC value (monotonicity clamp)
 
     counters: PerfCounters = field(default_factory=PerfCounters)
     predictor: BranchPredictor = field(default_factory=BranchPredictor)
@@ -73,4 +74,5 @@ class ThreadContext:
         self.dispatch_cycle = 0
         self.dispatch_slots_used = 0
         self.last_retire = 0
+        self.last_rdtsc = 0
         self.last_source = "none"

@@ -32,6 +32,7 @@ from repro.frontend.decode import decode_cost, effective_msrom, predecode_cost
 from repro.isa.instruction import BranchKind, MacroOp, MicroOp, UopKind, region_of
 from repro.isa.program import Program
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.observe.events import BRANCH_PREDICT
 from repro.uopcache.cache import UopCache
 from repro.uopcache.placement import LineSpec, build_lines
 
@@ -97,6 +98,8 @@ class FrontEnd:
         self.hierarchy = hierarchy
         self._walks: Dict[int, _RegionWalk] = {}
         self.smt_active = False
+        #: Observability bus (set by ``Core.observe()``, None = no hooks).
+        self.observer = None
 
     # ------------------------------------------------------------------
 
@@ -285,5 +288,20 @@ class FrontEnd:
         thread.fetch_clock += max(cycles, 1)
         for du in dynuops:
             du.fetch_cycle = thread.fetch_clock
+
+        obs = self.observer
+        if obs is not None and obs.wants(BRANCH_PREDICT):
+            for du in dynuops:
+                pred = du.pred
+                if pred is None:
+                    continue
+                obs.emit(
+                    BRANCH_PREDICT,
+                    thread.fetch_clock,
+                    thread.thread_id,
+                    rip=du.macro.addr,
+                    taken=pred.taken,
+                    target=pred.target,
+                )
 
         return FetchBlock(entry, dynuops, kind, next_rip, source, cycles)

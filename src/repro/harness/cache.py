@@ -126,6 +126,54 @@ class ResultCache:
         return self.get(key) is not None
 
     # ------------------------------------------------------------------
+    # artifacts: named blobs riding alongside a keyed result (traces,
+    # heatmaps, Chrome exports) -- opaque bytes, not schema-checked
+
+    @property
+    def artifacts_dir(self) -> Path:
+        """Directory holding per-key artifact files."""
+        return self.root / "artifacts"
+
+    def artifact_path(self, key: str, name: str) -> Path:
+        """On-disk path of artifact ``name`` for result ``key``."""
+        if "/" in name or name.startswith("."):
+            raise ValueError(f"invalid artifact name {name!r}")
+        return self.artifacts_dir / key[:2] / key / name
+
+    def put_artifact(self, key: str, name: str, data) -> Path:
+        """Atomically store an artifact (``bytes`` or ``str``)."""
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        path = self.artifact_path(key, name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_artifact(self, key: str, name: str) -> Optional[bytes]:
+        """Stored artifact bytes, or ``None`` when absent/unreadable."""
+        try:
+            return self.artifact_path(key, name).read_bytes()
+        except OSError:
+            return None
+
+    # ------------------------------------------------------------------
+
+    def _artifact_files(self):
+        if not self.artifacts_dir.is_dir():
+            return
+        for path in sorted(self.artifacts_dir.rglob("*")):
+            if path.is_file():
+                yield path
 
     def _blobs(self):
         if not self.objects_dir.is_dir():
@@ -149,7 +197,8 @@ class ResultCache:
         return CacheStats(str(self.root), entries, total)
 
     def clear(self) -> int:
-        """Delete every stored result; returns how many were removed."""
+        """Delete every stored result and artifact; returns the count
+        of files removed."""
         removed = 0
         for blob in list(self._blobs()):
             try:
@@ -163,6 +212,22 @@ class ResultCache:
                     shard.rmdir()
                 except OSError:
                     pass
+        for path in list(self._artifact_files()):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        if self.artifacts_dir.is_dir():
+            # prune now-empty <shard>/<key> directories bottom-up
+            for directory in sorted(
+                (p for p in self.artifacts_dir.rglob("*") if p.is_dir()),
+                reverse=True,
+            ):
+                try:
+                    directory.rmdir()
+                except OSError:
+                    pass
         return removed
 
 
@@ -173,6 +238,12 @@ class NullCache:
         return None
 
     def put(self, key: str, fn: str, result: Any):  # noqa: D102
+        return None
+
+    def put_artifact(self, key: str, name: str, data):  # noqa: D102
+        return None
+
+    def get_artifact(self, key: str, name: str):  # noqa: D102
         return None
 
     def __contains__(self, key: str) -> bool:

@@ -34,7 +34,9 @@ from repro.isa.program import Program
 
 #: Version of the (hash input, cached record) schema.  Baked into every
 #: job hash, so bumping it orphans -- never corrupts -- old entries.
-CACHE_SCHEMA_VERSION = 1
+#: v2: RDTSC reads are clamped monotonic under timer jitter, changing
+#: noisy-run results (see repro.cpu.noise.NoiseModel.rdtsc_jitter).
+CACHE_SCHEMA_VERSION = 2
 
 
 def canonical_json(obj: Any) -> bytes:

@@ -1,0 +1,217 @@
+"""Chrome trace-event JSON export of a run's structured event stream.
+
+Converts :class:`~repro.observe.events.Event` streams into the Chrome
+trace-event format (the JSON array flavour wrapped in an object:
+``{"traceEvents": [...]}``) loadable by ``chrome://tracing`` and
+Perfetto.  Fetch blocks become complete (``ph="X"``) slices on a
+per-thread track, sized by their front-end delivery cost;
+mispredictions, squashes, DSB fills/evicts/flushes and store commits
+become instant events layered on the same tracks.
+
+Timestamps are microseconds by convention; one simulated cycle maps to
+one microsecond so slice widths read directly as cycle counts.  Thread
+fetch clocks reset between ``Core.call`` boundaries, so timestamps are
+normalized per thread onto one continuous timeline: a fetch block
+whose raw end-cycle regresses below its thread's high-water mark folds
+the mark into that thread's offset (other event kinds reuse the
+current offset -- their cycles come from the same clock domain but are
+not themselves monotonic).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from .events import (
+    BRANCH_RESOLVE,
+    DSB_EVICT,
+    DSB_FILL,
+    DSB_FLUSH,
+    FETCH_BLOCK,
+    SQUASH,
+    STORE_COMMIT,
+    Event,
+)
+
+#: ``ph`` values this exporter emits.
+_PHASES = ("X", "i", "M")
+
+#: Instant-event renderings: event kind -> slice name.
+_INSTANT_NAMES = {
+    DSB_FILL: "dsb_fill",
+    DSB_EVICT: "dsb_evict",
+    DSB_FLUSH: "dsb_flush",
+    SQUASH: "squash",
+    STORE_COMMIT: "store_commit",
+}
+
+
+def chrome_trace(
+    events: Iterable[Event],
+    process_name: str = "repro-sim",
+) -> Dict[str, object]:
+    """Render an event stream as a Chrome trace-event document.
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}``.  The
+    input is consumed in emission order; only the kinds this exporter
+    understands contribute (others are ignored, so a full
+    :class:`~repro.observe.events.TraceRecorder` capture can be passed
+    straight in).
+    """
+    trace: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    offsets: Dict[int, int] = {}
+    high_water: Dict[int, int] = {}
+    threads_seen: List[int] = []
+
+    for event in events:
+        tid = event.thread if event.thread >= 0 else 0
+        if tid not in offsets:
+            offsets[tid] = 0
+            high_water[tid] = 0
+            threads_seen.append(tid)
+            trace.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": f"hw thread {tid}"},
+                }
+            )
+        kind = event.kind
+
+        if kind == FETCH_BLOCK:
+            raw_end = event.cycle
+            if raw_end < high_water[tid]:
+                # fetch clock reset at a Core.call boundary: splice onto
+                # the continuous timeline at the thread's high-water mark
+                offsets[tid] += high_water[tid]
+            high_water[tid] = raw_end
+            end = offsets[tid] + raw_end
+            dur = int(event.data.get("cycles", 0))
+            name = "{}:{}".format(
+                event.data.get("source", "none"),
+                _hexname(event.data.get("entry")),
+            )
+            args = {
+                k: v
+                for k, v in event.data.items()
+                if k in ("entry", "kind", "source", "n_uops", "cycles")
+            }
+            if dur > 0:
+                trace.append(
+                    {
+                        "name": name,
+                        "ph": "X",
+                        "ts": end - dur,
+                        "dur": dur,
+                        "pid": 0,
+                        "tid": tid,
+                        "args": args,
+                    }
+                )
+            else:
+                # fault blocks charge no cycles: render as an instant
+                trace.append(_instant(name, end, tid, args))
+            continue
+
+        ts = offsets[tid] + event.cycle
+        if kind == BRANCH_RESOLVE:
+            if event.data.get("mispredicted"):
+                trace.append(_instant("mispredict", ts, tid, dict(event.data)))
+        elif kind in _INSTANT_NAMES:
+            trace.append(
+                _instant(_INSTANT_NAMES[kind], ts, tid, dict(event.data))
+            )
+
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def _instant(name: str, ts: int, tid: int, args: Dict) -> Dict[str, object]:
+    return {
+        "name": name,
+        "ph": "i",
+        "ts": ts,
+        "pid": 0,
+        "tid": tid,
+        "s": "t",
+        "args": args,
+    }
+
+
+def _hexname(entry) -> str:
+    try:
+        return hex(int(entry))
+    except (TypeError, ValueError):
+        return str(entry)
+
+
+# ----------------------------------------------------------------------
+# validation
+
+
+def validate_chrome_trace(doc) -> List[str]:
+    """Structural check against the Chrome trace-event shape.
+
+    Returns a list of human-readable problems; an empty list means the
+    document is loadable.  This is the same check CI runs on the
+    exported artifact -- intentionally strict about the fields the
+    format requires (``ph``/``pid``/``tid`` everywhere, ``ts`` on
+    timed events, ``dur`` on complete events) and silent about
+    optional extras.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing 'traceEvents' array"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            errors.append(f"{where}: ph={ph!r} not one of {_PHASES}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            errors.append(f"{where}: missing string 'name'")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                errors.append(f"{where}: missing integer {field!r}")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: 'X' event needs non-negative dur")
+        if ph == "i" and ev.get("s") not in (None, "g", "p", "t"):
+            errors.append(f"{where}: instant scope {ev.get('s')!r} invalid")
+    return errors
+
+
+def write_chrome_trace(path, doc: Dict[str, object]) -> None:
+    """Serialise ``doc`` to ``path`` (refusing structurally broken docs)."""
+    problems = validate_chrome_trace(doc)
+    if problems:
+        raise ValueError(
+            "refusing to write invalid chrome trace: " + "; ".join(problems[:3])
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")

@@ -1,0 +1,258 @@
+"""The structured event bus: low-overhead subscriber hooks on the
+simulator's hot paths.
+
+The paper's characterization (Figures 3-7, Table II) is an
+*observability* exercise -- reading per-source micro-op delivery, DSB
+switch penalties and set-level occupancy the way uops.info does with
+hardware counters.  This module is the simulator-side equivalent: the
+core, front end, micro-op cache and store buffers publish structured
+events onto an :class:`EventBus`, and anything -- trace recorders,
+heatmap capturers, windowed counter samplers, Chrome-trace exporters --
+subscribes.
+
+Pay-for-what-you-use is the design contract.  A core that never calls
+``Core.observe()`` carries no bus at all: every hook site guards on a
+single ``observer is not None`` attribute check, so the no-subscriber
+cost is one pointer comparison per site (the covert-trial throughput
+benchmark enforces this stays within noise).  Sites with non-trivial
+payloads additionally check :meth:`EventBus.wants` so event dicts are
+only built for kinds somebody listens to.
+
+Event kinds:
+
+========================  =====================================================
+``fetch_block``           one front-end fetch/delivery step (entry, kind,
+                          source, n_uops, cycles)
+``dsb_fill``              a decoded region installed into the micro-op cache
+``dsb_evict``             a line evicted (cause: conflict / noise / inclusion)
+``dsb_flush``             the whole structure dropped (iTLB flush, SMT
+                          repartition, domain crossing)
+``branch_predict``        a front-end prediction attached to a control uop
+``branch_resolve``        a branch's functional outcome vs its prediction
+``squash``                a pending misprediction fired: wrong path rolled back
+``store_commit``          a store buffer entry drained to memory
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Event-kind constants (string-typed so payloads stay JSON-friendly).
+FETCH_BLOCK = "fetch_block"
+DSB_FILL = "dsb_fill"
+DSB_EVICT = "dsb_evict"
+DSB_FLUSH = "dsb_flush"
+BRANCH_PREDICT = "branch_predict"
+BRANCH_RESOLVE = "branch_resolve"
+SQUASH = "squash"
+STORE_COMMIT = "store_commit"
+
+#: Every kind the simulator emits, in rough pipeline order.
+ALL_KINDS: Tuple[str, ...] = (
+    FETCH_BLOCK,
+    DSB_FILL,
+    DSB_EVICT,
+    DSB_FLUSH,
+    BRANCH_PREDICT,
+    BRANCH_RESOLVE,
+    SQUASH,
+    STORE_COMMIT,
+)
+
+
+@dataclass(slots=True)
+class Event:
+    """One structured simulator event.
+
+    ``cycle`` is the emitting thread's clock at the event (fetch clock
+    for front-end events, scoreboard resolution cycle for
+    branch-resolve/squash); ``thread`` the hardware thread id (-1 when
+    not attributable); ``data`` the kind-specific payload, all values
+    JSON-serialisable.
+    """
+
+    kind: str
+    cycle: int
+    thread: int
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def get(self, name: str, default=None):
+        """Payload field access shorthand."""
+        return self.data.get(name, default)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat JSON-ready rendering."""
+        rec: Dict[str, object] = {
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "thread": self.thread,
+        }
+        rec.update(self.data)
+        return rec
+
+
+class EventBus:
+    """Per-kind subscriber registry with constant-time emit gating.
+
+    Subscribers are plain callables taking one :class:`Event`.  The
+    emitting hot paths call :meth:`wants` before building a payload, so
+    an attached-but-idle bus costs one dict lookup per site.
+    """
+
+    __slots__ = ("_subs",)
+
+    def __init__(self) -> None:
+        self._subs: Dict[str, List[Callable[[Event], None]]] = {}
+
+    # ------------------------------------------------------------------
+    # subscription
+
+    def subscribe(
+        self,
+        fn: Callable[[Event], None],
+        kinds: Optional[Sequence[str]] = None,
+    ) -> Callable[[Event], None]:
+        """Attach ``fn`` for ``kinds`` (default: every kind).
+
+        Returns ``fn`` so the caller can hold it for
+        :meth:`unsubscribe`.  Unknown kind names raise ``ValueError``
+        -- a misspelled kind would otherwise silently record nothing.
+        """
+        targets = ALL_KINDS if kinds is None else tuple(kinds)
+        for kind in targets:
+            if kind not in ALL_KINDS:
+                raise ValueError(
+                    f"unknown event kind {kind!r}; valid: {ALL_KINDS}"
+                )
+            self._subs.setdefault(kind, []).append(fn)
+        return fn
+
+    def unsubscribe(self, fn: Callable[[Event], None]) -> None:
+        """Detach ``fn`` from every kind it subscribed to."""
+        for kind in list(self._subs):
+            subs = self._subs[kind]
+            while fn in subs:
+                subs.remove(fn)
+            if not subs:
+                del self._subs[kind]
+
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber is attached."""
+        return bool(self._subs)
+
+    def wants(self, kind: str) -> bool:
+        """True when ``kind`` has at least one subscriber (emit gate)."""
+        return kind in self._subs
+
+    # ------------------------------------------------------------------
+    # emission
+
+    def emit(self, _kind: str, _cycle: int, _thread: int, **data) -> None:
+        """Publish one event to the subscribers of ``_kind``.
+
+        Positional parameters are underscore-prefixed so payload keys
+        like ``kind`` stay usable as keywords.  No-op (without building
+        anything) when nobody listens; hot paths should still pre-gate
+        with :meth:`wants` to skip payload construction.
+        """
+        subs = self._subs.get(_kind)
+        if not subs:
+            return
+        event = Event(_kind, _cycle, _thread, data)
+        for fn in subs:
+            fn(event)
+
+
+class TraceRecorder:
+    """Event collector with a connect/close lifecycle.
+
+    The standard observability consumer: connect it to a core, run the
+    workload, and the structured events land in :attr:`events` in
+    emission order.  ``kinds`` restricts collection (default: all).
+
+    ::
+
+        rec = TraceRecorder().connect(core)
+        core.call("main")
+        rec.close()
+        print(rec.counts())
+
+    Also usable as a context manager over an already-targeted core::
+
+        with TraceRecorder(core=core) as rec:
+            core.call("main")
+    """
+
+    def __init__(
+        self,
+        kinds: Optional[Sequence[str]] = None,
+        core=None,
+    ) -> None:
+        self.kinds = tuple(kinds) if kinds is not None else None
+        self.events: List[Event] = []
+        self._core = core
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def connect(self, core=None) -> "TraceRecorder":
+        """Subscribe to ``core``'s event bus (creating it on demand)."""
+        if core is not None:
+            self._core = core
+        if self._core is None:
+            raise ValueError("no core to connect to")
+        self._core.observe().subscribe(self._on_event, self.kinds)
+        return self
+
+    def close(self) -> "TraceRecorder":
+        """Unsubscribe; collected events stay available."""
+        if self._core is not None and self._core.observer is not None:
+            self._core.observer.unsubscribe(self._on_event)
+        return self
+
+    def __enter__(self) -> "TraceRecorder":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _on_event(self, event: Event) -> None:
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # views
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        """Drop collected events (keep the subscription)."""
+        self.events.clear()
+
+    def of(self, kind: str) -> List[Event]:
+        """Events of one kind, in emission order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Event count per kind (only kinds actually seen)."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def uops_by_source(self) -> Dict[str, int]:
+        """Delivered micro-ops per front-end source, from fetch events."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            if event.kind != FETCH_BLOCK:
+                continue
+            source = event.data.get("source", "none")
+            out[source] = out.get(source, 0) + int(event.data.get("n_uops", 0))
+        return out
+
+    def as_records(self) -> List[Dict[str, object]]:
+        """JSON-ready flat dicts, one per event."""
+        return [event.as_dict() for event in self.events]

@@ -1,0 +1,194 @@
+"""Micro-op cache set-occupancy snapshots and heatmap rendering.
+
+The paper's conflict analysis (Section IV, Listing 1) is about *which
+sets* a tiger or zebra occupies: a tiger replicates the victim's
+striped footprint and conflicts; a zebra occupies the complementary
+stripes and never does.  :class:`OccupancySnapshot` freezes the
+per-set/per-way state of a :class:`~repro.uopcache.cache.UopCache` at
+one instant and renders it as a text heatmap (rows = sets, columns =
+ways) or a JSON document -- the view that makes set-conflict debugging
+a look-up instead of guesswork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+#: Schema tag stamped into JSON renderings.
+HEATMAP_SCHEMA = "repro.uopcache-occupancy/1"
+
+
+@dataclass(slots=True)
+class LineView:
+    """Immutable view of one resident line (inspection only)."""
+
+    entry: int
+    thread: int
+    seq: int
+    slots: int
+    uop_count: int
+    hotness: int
+    msrom: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "entry": self.entry,
+            "thread": self.thread,
+            "seq": self.seq,
+            "slots": self.slots,
+            "uop_count": self.uop_count,
+            "hotness": self.hotness,
+            "msrom": self.msrom,
+        }
+
+
+@dataclass
+class OccupancySnapshot:
+    """Frozen per-set/way occupancy of a micro-op cache.
+
+    ``lines[s]`` lists the resident lines of set ``s`` in way order
+    (insertion order -- the order the replacement policy maintains).
+    """
+
+    sets: int
+    ways: int
+    label: str = ""
+    lines: List[List[LineView]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # capture
+
+    @classmethod
+    def capture(cls, uop_cache, label: str = "") -> "OccupancySnapshot":
+        """Snapshot ``uop_cache``'s current residency."""
+        lines: List[List[LineView]] = []
+        for idx in range(uop_cache.sets):
+            lines.append(
+                [
+                    LineView(
+                        entry=line.entry,
+                        thread=line.thread,
+                        seq=line.seq,
+                        slots=line.slots,
+                        uop_count=line.uop_count,
+                        hotness=line.hotness,
+                        msrom=line.msrom,
+                    )
+                    for line in uop_cache.lines_in_set(idx)
+                ]
+            )
+        return cls(
+            sets=uop_cache.sets, ways=uop_cache.ways, label=label, lines=lines
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def occupancy(self) -> List[int]:
+        """Valid lines per set."""
+        return [len(ways) for ways in self.lines]
+
+    @property
+    def total_lines(self) -> int:
+        """Valid lines overall."""
+        return sum(len(ways) for ways in self.lines)
+
+    def occupied_sets(self) -> List[int]:
+        """Indices of sets holding at least one line."""
+        return [idx for idx, ways in enumerate(self.lines) if ways]
+
+    def entries_in_set(self, idx: int) -> List[int]:
+        """Distinct entry addresses resident in set ``idx``."""
+        return sorted({line.entry for line in self.lines[idx]})
+
+    def diff(self, earlier: "OccupancySnapshot") -> List[int]:
+        """Per-set occupancy delta ``self - earlier`` (conflict view)."""
+        if earlier.sets != self.sets:
+            raise ValueError("snapshots cover different geometries")
+        mine, theirs = self.occupancy, earlier.occupancy
+        return [a - b for a, b in zip(mine, theirs)]
+
+    # ------------------------------------------------------------------
+    # rendering
+
+    def render_text(
+        self,
+        owner_of: Optional[Callable[[LineView], str]] = None,
+        empty: str = "·",
+    ) -> str:
+        """Text heatmap: one row per set, one column per way.
+
+        ``owner_of`` maps a resident line to a single display
+        character (see :func:`owner_classifier`); the default marks
+        occupancy with ``#``.  Empty ways render as ``empty``.
+        """
+        head = f"µop cache occupancy — {self.sets} sets × {self.ways} ways"
+        if self.label:
+            head += f" — {self.label}"
+        rows = [head]
+        for idx, ways in enumerate(self.lines):
+            cells = []
+            for line in ways:
+                ch = owner_of(line) if owner_of is not None else "#"
+                cells.append((ch or "#")[0])
+            cells.extend(empty * (self.ways - len(cells)))
+            rows.append(f"  set {idx:2d} |{''.join(cells)}| {len(ways)}")
+        rows.append(f"  total: {self.total_lines}/{self.sets * self.ways} lines")
+        return "\n".join(rows)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON document: geometry, per-set occupancy, resident lines."""
+        return {
+            "schema": HEATMAP_SCHEMA,
+            "label": self.label,
+            "sets": self.sets,
+            "ways": self.ways,
+            "occupancy": self.occupancy,
+            "lines": [
+                [line.as_dict() for line in ways] for ways in self.lines
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping) -> "OccupancySnapshot":
+        """Inverse of :meth:`to_json` (artifact round-trips)."""
+        if doc.get("schema") != HEATMAP_SCHEMA:
+            raise ValueError(f"not an occupancy snapshot: {doc.get('schema')!r}")
+        lines = [
+            [LineView(**cell) for cell in ways] for ways in doc["lines"]
+        ]
+        return cls(
+            sets=int(doc["sets"]),
+            ways=int(doc["ways"]),
+            label=str(doc.get("label", "")),
+            lines=lines,
+        )
+
+
+def owner_classifier(
+    arenas: Mapping[str, Tuple[int, int]], default: str = "#"
+) -> Callable[[LineView], str]:
+    """Build an ``owner_of`` callable from named address ranges.
+
+    ``arenas`` maps a display character (only the first character is
+    used) to a ``[lo, hi)`` entry-address range -- typically the code
+    arenas of the tiger/zebra/probe functions.  Lines outside every
+    range render as ``default``.
+
+    ::
+
+        owner = owner_classifier({"T": (SENDER_ARENA, SENDER_ARENA + 0x4000),
+                                  "Z": (ZEBRA_ARENA, ZEBRA_ARENA + 0x4000)})
+        print(snapshot.render_text(owner))
+    """
+    ranges = [(ch[0], lo, hi) for ch, (lo, hi) in arenas.items()]
+
+    def owner_of(line: LineView) -> str:
+        for ch, lo, hi in ranges:
+            if lo <= line.entry < hi:
+                return ch
+        return default
+
+    return owner_of

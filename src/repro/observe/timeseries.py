@@ -1,0 +1,188 @@
+"""Windowed counter timeseries sampled from the event stream.
+
+Table II's detector features are *windowed* counter reads -- micro-op
+deliveries, DSB switches and mispredict rates accumulated over
+fixed-length cycle windows, then fed to an anomaly detector.
+:class:`CounterSampler` reproduces that view from the structured event
+bus: it folds events into per-window counter dicts, cutting a new
+window every ``window`` cycles of normalized simulated time.
+
+The simulator zeroes each thread's fetch clock between ``Core.call``
+boundaries (``reset_pipeline_clocks``), so raw event cycles are only
+monotonic *within* one call.  The sampler normalizes per thread: when
+a thread's cycle regresses, the previous high-water mark is folded
+into that thread's offset, yielding one continuous timeline across an
+entire session.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .events import (
+    BRANCH_RESOLVE,
+    DSB_EVICT,
+    DSB_FILL,
+    DSB_FLUSH,
+    FETCH_BLOCK,
+    SQUASH,
+    STORE_COMMIT,
+    Event,
+)
+
+#: Counter names every window carries (zero-filled when nothing fired).
+WINDOW_COUNTERS = (
+    "uops_dsb",
+    "uops_mite",
+    "uops_ms",
+    "fetch_blocks",
+    "dsb_fills",
+    "dsb_evicts",
+    "dsb_flushes",
+    "branch_resolves",
+    "mispredicts",
+    "squashes",
+    "uops_squashed",
+    "store_commits",
+)
+
+_SOURCE_COUNTER = {"dsb": "uops_dsb", "mite": "uops_mite", "ms": "uops_ms"}
+
+
+class CounterSampler:
+    """Fold bus events into fixed-width per-window counter samples.
+
+    ::
+
+        sampler = CounterSampler(window=100).connect(core)
+        core.call("main")
+        sampler.close()
+        for row in sampler.finish():
+            print(row["t0"], row["uops_dsb"], row["mispredicts"])
+
+    Each sample is a flat dict: ``t0`` (window start on the normalized
+    timeline), ``window`` (width), plus the :data:`WINDOW_COUNTERS`.
+    Empty interior windows are emitted zero-filled so downstream
+    detectors see a regular sampling grid.
+    """
+
+    KINDS = (
+        FETCH_BLOCK,
+        DSB_FILL,
+        DSB_EVICT,
+        DSB_FLUSH,
+        BRANCH_RESOLVE,
+        SQUASH,
+        STORE_COMMIT,
+    )
+
+    def __init__(self, window: int = 100, core=None) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = int(window)
+        self.samples: List[Dict[str, int]] = []
+        self._core = core
+        self._current: Optional[Dict[str, int]] = None
+        self._t0 = 0
+        # per-thread monotonic normalization
+        self._offset: Dict[int, int] = {}
+        self._last_raw: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def connect(self, core=None) -> "CounterSampler":
+        """Subscribe to ``core``'s event bus (creating it on demand)."""
+        if core is not None:
+            self._core = core
+        if self._core is None:
+            raise ValueError("no core to connect to")
+        self._core.observe().subscribe(self._on_event, self.KINDS)
+        return self
+
+    def close(self) -> "CounterSampler":
+        """Unsubscribe; accumulated samples stay available."""
+        if self._core is not None and self._core.observer is not None:
+            self._core.observer.unsubscribe(self._on_event)
+        return self
+
+    def __enter__(self) -> "CounterSampler":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # accumulation
+
+    def _normalize(self, thread: int, raw: int) -> int:
+        offset = self._offset.get(thread, 0)
+        last = self._last_raw.get(thread, 0)
+        if raw < last:
+            # clock reset between Core.call boundaries: splice onto the
+            # continuous timeline at the thread's high-water mark
+            offset += last
+            self._offset[thread] = offset
+        self._last_raw[thread] = raw
+        return offset + raw
+
+    def _window_for(self, cycle: int) -> Dict[str, int]:
+        if self._current is None:
+            self._t0 = (cycle // self.window) * self.window
+            self._current = self._blank(self._t0)
+        while cycle >= self._t0 + self.window:
+            self.samples.append(self._current)
+            self._t0 += self.window
+            self._current = self._blank(self._t0)
+        return self._current
+
+    def _blank(self, t0: int) -> Dict[str, int]:
+        row: Dict[str, int] = {"t0": t0, "window": self.window}
+        for name in WINDOW_COUNTERS:
+            row[name] = 0
+        return row
+
+    def _on_event(self, event: Event) -> None:
+        cycle = self._normalize(event.thread, event.cycle)
+        row = self._window_for(cycle)
+        kind = event.kind
+        if kind == FETCH_BLOCK:
+            row["fetch_blocks"] += 1
+            counter = _SOURCE_COUNTER.get(str(event.data.get("source")))
+            if counter is not None:
+                row[counter] += int(event.data.get("n_uops", 0))
+        elif kind == DSB_FILL:
+            row["dsb_fills"] += 1
+        elif kind == DSB_EVICT:
+            row["dsb_evicts"] += 1
+        elif kind == DSB_FLUSH:
+            row["dsb_flushes"] += 1
+        elif kind == BRANCH_RESOLVE:
+            row["branch_resolves"] += 1
+            if event.data.get("mispredicted"):
+                row["mispredicts"] += 1
+        elif kind == SQUASH:
+            row["squashes"] += 1
+            row["uops_squashed"] += int(event.data.get("squashed", 0))
+        elif kind == STORE_COMMIT:
+            row["store_commits"] += 1
+
+    # ------------------------------------------------------------------
+    # results
+
+    def finish(self) -> List[Dict[str, int]]:
+        """Flush the in-progress window and return every sample."""
+        if self._current is not None:
+            self.samples.append(self._current)
+            self._current = None
+            self._t0 += self.window
+        return self.samples
+
+    def as_json(self) -> Dict[str, object]:
+        """JSON document with sampling metadata and the sample rows."""
+        return {
+            "schema": "repro.counter-timeseries/1",
+            "window": self.window,
+            "counters": list(WINDOW_COUNTERS),
+            "samples": self.finish(),
+        }

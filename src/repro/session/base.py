@@ -110,17 +110,76 @@ class AttackSession:
         self.classifier = None
         self.setup()
 
+    def run(self, trial: Callable[["AttackSession"], object],
+            observe=None) -> object:
+        """Run one ``trial(self)``, optionally under observation.
+
+        ``observe`` attaches structured-event consumers for the
+        duration of the trial and detaches them afterwards (collected
+        data stays on the consumer).  Accepted forms:
+
+        - an object with the ``connect(core)`` / ``close()`` protocol
+          (:class:`repro.observe.TraceRecorder`,
+          :class:`repro.observe.CounterSampler`, ...);
+        - a bare callable, subscribed to every event kind;
+        - a list/tuple mixing either.
+
+        With ``observe=None`` (the default) no bus is attached and the
+        core runs at full unobserved speed.
+        """
+        attached = self._attach_observers(observe)
+        try:
+            return trial(self)
+        finally:
+            self._detach_observers(attached)
+
     def run_trials(self, trial: Callable[["AttackSession"], object],
-                   n: int, reset_between: bool = True) -> List[object]:
+                   n: int, reset_between: bool = True,
+                   observe=None) -> List[object]:
         """Run ``trial(self)`` ``n`` times, resetting the session
         before each so every trial starts from the identical
-        post-construction state (cheap: no rebuild)."""
-        results = []
-        for _ in range(n):
-            if reset_between:
-                self.reset()
-            results.append(trial(self))
-        return results
+        post-construction state (cheap: no rebuild).
+
+        ``observe`` attaches event consumers (see :meth:`run`) around
+        the whole batch -- resets keep subscribers attached, so one
+        consumer sees every trial.
+        """
+        attached = self._attach_observers(observe)
+        try:
+            results = []
+            for _ in range(n):
+                if reset_between:
+                    self.reset()
+                results.append(trial(self))
+            return results
+        finally:
+            self._detach_observers(attached)
+
+    def _attach_observers(self, observe) -> List[Tuple[str, object]]:
+        if observe is None:
+            return []
+        items = list(observe) if isinstance(observe, (list, tuple)) else [observe]
+        attached: List[Tuple[str, object]] = []
+        for item in items:
+            if hasattr(item, "connect"):
+                item.connect(self.core)
+                attached.append(("consumer", item))
+            elif callable(item):
+                self.core.observe().subscribe(item)
+                attached.append(("fn", item))
+            else:
+                raise TypeError(
+                    f"observe item {item!r} is neither a connectable "
+                    "consumer nor a callable"
+                )
+        return attached
+
+    def _detach_observers(self, attached: List[Tuple[str, object]]) -> None:
+        for kind, item in attached:
+            if kind == "consumer":
+                item.close()
+            elif self.core.observer is not None:
+                self.core.observer.unsubscribe(item)
 
     # ------------------------------------------------------------------
     # cycle accounting (the one home for total_cycles)

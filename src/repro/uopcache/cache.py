@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.instruction import region_of
+from repro.observe.events import DSB_EVICT, DSB_FILL, DSB_FLUSH
 from repro.uopcache.line import UopCacheLine
 from repro.uopcache.placement import LineSpec
 from repro.uopcache.policies import HotnessPolicy, ReplacementPolicy
@@ -85,6 +86,13 @@ class UopCache:
         self._sets: List[List[UopCacheLine]] = [[] for _ in range(sets)]
         self._set_state: List[Dict] = [{} for _ in range(sets)]
         self._tick = 0
+        #: Observability: an :class:`repro.observe.events.EventBus` (set
+        #: by ``Core.observe()``; None means no hooks fire) plus the
+        #: cycle/thread attribution hints the core refreshes before
+        #: each pipeline step -- the cache itself has no clock.
+        self.observer = None
+        self.obs_cycle = 0
+        self.obs_thread = -1
 
     # ------------------------------------------------------------------
     # geometry
@@ -182,6 +190,7 @@ class UopCache:
         state = self._set_state[idx]
         self.policy.touch_set(ways, self._tick, state)
         all_in = True
+        admitted = 0
         total = len(specs)
         for seq, spec in enumerate(specs):
             line = UopCacheLine(
@@ -193,12 +202,25 @@ class UopCache:
                 msrom=spec.msrom,
                 region_lines=total,
             )
-            if not self._insert(ways, state, line):
+            if self._insert(ways, state, line, idx):
+                admitted += 1
+            else:
                 all_in = False
+        obs = self.observer
+        if obs is not None and obs.wants(DSB_FILL):
+            obs.emit(
+                DSB_FILL,
+                self.obs_cycle,
+                self.obs_thread,
+                entry=entry,
+                set=idx,
+                lines=total,
+                admitted=admitted,
+            )
         return all_in
 
     def _insert(
-        self, ways: List[UopCacheLine], state: Dict, line: UopCacheLine
+        self, ways: List[UopCacheLine], state: Dict, line: UopCacheLine, idx: int
     ) -> bool:
         for existing in ways:
             if existing.key() == line.key():
@@ -216,6 +238,18 @@ class UopCache:
         ways.remove(victim)
         self.policy.on_evict(victim, state)
         self.stats.evictions += 1
+        obs = self.observer
+        if obs is not None and obs.wants(DSB_EVICT):
+            obs.emit(
+                DSB_EVICT,
+                self.obs_cycle,
+                self.obs_thread,
+                entry=victim.entry,
+                victim_thread=victim.thread,
+                seq=victim.seq,
+                set=idx,
+                cause="conflict",
+            )
         self.policy.on_fill(line, self._tick)
         ways.append(line)
         self.stats.lines_filled += 1
@@ -241,6 +275,18 @@ class UopCache:
         victim = ways.pop(rng.randrange(len(ways)))
         self.policy.on_evict(victim, self._set_state[idx])
         self.stats.evictions += 1
+        obs = self.observer
+        if obs is not None and obs.wants(DSB_EVICT):
+            obs.emit(
+                DSB_EVICT,
+                self.obs_cycle,
+                self.obs_thread,
+                entry=victim.entry,
+                victim_thread=victim.thread,
+                seq=victim.seq,
+                set=idx,
+                cause="noise",
+            )
         return True
 
     # ------------------------------------------------------------------
@@ -249,10 +295,16 @@ class UopCache:
     def flush(self) -> None:
         """Drop every line (iTLB flush / domain-crossing mitigation)."""
         self.stats.flushes += 1
+        dropped = sum(len(ways) for ways in self._sets)
         for ways in self._sets:
             ways.clear()
         for state in self._set_state:
             state.clear()
+        obs = self.observer
+        if obs is not None and obs.wants(DSB_FLUSH):
+            obs.emit(
+                DSB_FLUSH, self.obs_cycle, self.obs_thread, dropped=dropped
+            )
 
     def reset(self) -> None:
         """Restore post-construction state: empty sets, zeroed stats.
@@ -287,6 +339,18 @@ class UopCache:
             if len(keep) != len(ways):
                 dropped += len(ways) - len(keep)
                 ways[:] = keep
+        if dropped:
+            obs = self.observer
+            if obs is not None and obs.wants(DSB_EVICT):
+                obs.emit(
+                    DSB_EVICT,
+                    self.obs_cycle,
+                    self.obs_thread,
+                    cause="inclusion",
+                    dropped=dropped,
+                    start=start,
+                    end=end,
+                )
         return dropped
 
     # ------------------------------------------------------------------

@@ -87,8 +87,10 @@ class TestROC:
     def test_separable_distributions_perfect_auc(self):
         roc = roc_sweep([1, 2, 3, 4], [100, 110, 120])
         assert roc.auc > 0.99
-        threshold, tpr = roc.best_threshold(max_fpr=0.0)
-        assert tpr == 1.0
+        best = roc.best_threshold(max_fpr=0.0)
+        assert best is not None
+        assert best.tpr == 1.0
+        assert best.fpr == 0.0
 
     def test_identical_distributions_chance_auc(self):
         roc = roc_sweep([10, 20, 30], [10, 20, 30])
@@ -98,10 +100,119 @@ class TestROC:
         benign = [10, 12, 14, 100]  # one noisy benign window
         attack = [90, 110, 130]
         roc = roc_sweep(benign, attack)
-        _, tpr_strict = roc.best_threshold(max_fpr=0.0)
-        _, tpr_loose = roc.best_threshold(max_fpr=0.5)
-        assert tpr_loose >= tpr_strict
+        strict = roc.best_threshold(max_fpr=0.0)
+        loose = roc.best_threshold(max_fpr=0.5)
+        tpr_strict = strict.tpr if strict is not None else 0.0
+        assert loose is not None
+        assert loose.tpr >= tpr_strict
 
     def test_requires_data(self):
         with pytest.raises(ValueError):
             roc_sweep([], [1])
+
+
+# ----------------------------------------------------------------------
+# property/edge tests (limits, monotonicity, exhaustion)
+
+
+class TestCapacityProperties:
+    def test_limit_p_to_zero(self):
+        assert bsc_capacity(1e-12) == pytest.approx(1.0, abs=1e-9)
+
+    def test_limit_p_to_half(self):
+        assert bsc_capacity(0.5 - 1e-9) == pytest.approx(0.0, abs=1e-6)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_symmetric_around_half(self, p):
+        # a channel that flips every bit is as good as a clean one
+        assert bsc_capacity(p) == pytest.approx(bsc_capacity(1.0 - p))
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.5),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_decreasing_on_lower_half(self, a, b):
+        lo, hi = sorted((a, b))
+        assert bsc_capacity(lo) >= bsc_capacity(hi) - 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded(self, p):
+        assert 0.0 <= bsc_capacity(p) <= 1.0
+
+
+class TestRSBudgetProperties:
+    def test_limit_p_to_zero_needs_minimum_parity(self):
+        assert recommend_rs_parity(1e-9) == 2
+
+    def test_parity_monotone_in_error_rate(self):
+        budgets = [
+            recommend_rs_parity(p)
+            for p in (0.0, 1e-4, 1e-3, 5e-3, 1e-2, 2e-2)
+        ]
+        assert budgets == sorted(budgets)
+
+    def test_parity_always_even(self):
+        for p in (0.0, 1e-3, 5e-3, 1e-2):
+            assert recommend_rs_parity(p) % 2 == 0
+
+    def test_near_half_exhausts_default_ceiling(self):
+        # byte error rate ~1: no 255-byte block can decode
+        with pytest.raises(ValueError):
+            recommend_rs_parity(0.49)
+
+    def test_exhaustion_reports_ceiling(self):
+        with pytest.raises(ValueError, match="no parity budget <= 8"):
+            recommend_rs_parity(0.4, max_nsym=8)
+
+    def test_tighter_target_needs_no_less_parity(self):
+        loose = recommend_rs_parity(0.005, target_block_failure=1e-3)
+        tight = recommend_rs_parity(0.005, target_block_failure=1e-9)
+        assert tight >= loose
+
+
+class TestROCProperties:
+    def test_sweep_is_monotone_in_threshold(self):
+        benign = [3, 7, 7, 12, 40, 41]
+        attack = [10, 35, 50, 50, 90]
+        roc = roc_sweep(benign, attack)
+        ordered = sorted(roc.points)
+        for (_, f1, t1), (_, f2, t2) in zip(ordered, ordered[1:]):
+            assert f2 <= f1  # raising the threshold never adds FPs
+            assert t2 <= t1  # ... nor TPs
+
+    def test_all_positive_endpoint_present(self):
+        roc = roc_sweep([1, 2], [3, 4])
+        assert (1.0, 1.0) in {(f, t) for _, f, t in roc.points}
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                 max_size=30),
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                 max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rates_and_auc_are_probabilities(self, benign, attack):
+        roc = roc_sweep(benign, attack)
+        assert 0.0 <= roc.auc <= 1.0
+        for _, fpr, tpr in roc.points:
+            assert 0.0 <= fpr <= 1.0
+            assert 0.0 <= tpr <= 1.0
+
+    def test_operating_point_as_dict(self):
+        roc = roc_sweep([1, 2, 3], [50, 60])
+        best = roc.best_threshold(max_fpr=0.0)
+        assert best is not None
+        doc = best.as_dict()
+        assert doc == {
+            "threshold": best.threshold,
+            "fpr": best.fpr,
+            "tpr": best.tpr,
+        }
+
+    def test_no_qualifying_point_returns_none(self):
+        # every threshold admitting any attack also admits all benign
+        roc = roc_sweep([100, 200], [1, 2])
+        assert roc.best_threshold(max_fpr=-0.1) is None

@@ -43,5 +43,6 @@ def test_misclassification_is_inherent(traces):
     benign, attack = traces
     assert max(benign) > max(attack)  # large_code out-misses the spy
     roc = roc_sweep(benign, attack)
-    _, tpr_at_zero_fpr = roc.best_threshold(max_fpr=0.0)
+    best = roc.best_threshold(max_fpr=0.0)
+    tpr_at_zero_fpr = best.tpr if best is not None else 0.0
     assert tpr_at_zero_fpr < 1.0

@@ -47,6 +47,14 @@ def test_examples_all_have_docstrings_and_main():
         assert '__name__ == "__main__"' in source, path
 
 
+def test_observe_heatmap(capsys):
+    load_example("observe_heatmap").main()
+    out = capsys.readouterr().out
+    assert "µop cache occupancy" in out
+    assert "conflict evictions" in out
+    assert "mutually exclusive sets" in out
+
+
 def test_attack_sessions(capsys):
     load_example("attack_sessions").main()
     out = capsys.readouterr().out

@@ -22,6 +22,38 @@ class TestProbeTiming:
         t = ProbeTiming(hit_times=[10], miss_times=[100])
         assert t.delta_sd == 0.0
 
+    def test_pooled_sd_equal_spreads(self):
+        # equal-size sides with identical variance: pooled == either
+        t = ProbeTiming(hit_times=[10, 14], miss_times=[100, 104])
+        import statistics
+
+        expected = statistics.stdev([10, 14])
+        assert t.delta_sd == pytest.approx(expected)
+
+    def test_pooled_sd_weights_by_dof(self):
+        # sqrt((1*s1^2 + 2*s2^2) / 3) for sizes (2, 3)
+        import math
+        import statistics
+
+        hits = [10, 20]
+        misses = [100, 110, 130]
+        t = ProbeTiming(hit_times=hits, miss_times=misses)
+        expected = math.sqrt(
+            (1 * statistics.variance(hits) + 2 * statistics.variance(misses))
+            / 3
+        )
+        assert t.delta_sd == pytest.approx(expected)
+
+    def test_pooled_sd_ignores_single_sample_side(self):
+        import statistics
+
+        t = ProbeTiming(hit_times=[10, 14, 18], miss_times=[100])
+        assert t.delta_sd == pytest.approx(statistics.stdev([10, 14, 18]))
+
+    def test_pooled_sd_zero_for_constant_times(self):
+        t = ProbeTiming(hit_times=[10, 10, 10], miss_times=[90, 90])
+        assert t.delta_sd == 0.0
+
 
 class TestClassifier:
     def test_threshold_decision(self):
@@ -48,3 +80,25 @@ class TestClassifier:
     def test_empty_vote_rejected(self):
         with pytest.raises(ValueError):
             TimingClassifier(50).vote([])
+
+    def test_tie_with_mean_on_threshold_reads_zero(self):
+        # mean exactly equal to the threshold is not a miss
+        c = TimingClassifier(threshold=50)
+        assert c.vote([80, 20]) == 0
+
+    def test_odd_sample_counts_never_tie(self):
+        c = TimingClassifier(threshold=50)
+        # the extreme outlier (999) cannot flip a 1-of-3 minority:
+        # majority rules, the mean fallback never engages
+        assert c.vote([999, 20, 20]) == 0
+        assert c.vote([51, 51, 0]) == 1
+
+    def test_four_way_tie_uses_mean(self):
+        c = TimingClassifier(threshold=50)
+        assert c.vote([100, 100, 10, 10]) == 1  # mean 55 > 50
+        assert c.vote([60, 60, 0, 0]) == 0  # mean 30 < 50
+
+    def test_boundary_sample_counts_as_hit(self):
+        # is_miss is strict: exactly-threshold samples vote "hit"
+        c = TimingClassifier(threshold=50)
+        assert c.vote([50, 50, 50]) == 0
