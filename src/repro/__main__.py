@@ -538,6 +538,32 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lint.runner import run_lint
+
+    names = args.targets
+    if args.all or not names:
+        names = None  # every registered target
+    try:
+        run = run_lint(names, cross=args.cross_check)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 2
+    if args.json != "-":  # keep stdout pure JSON when piping
+        print(run.render(show_info=args.show_info))
+    if args.json is not None:
+        doc = json.dumps(run.as_dict(), indent=2)
+        if args.json == "-":
+            print(doc)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(doc + "\n")
+            print(f"wrote {args.json}")
+    return run.exit_code
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.harness import ResultCache
 
@@ -661,6 +687,28 @@ def main(argv=None) -> int:
     p.add_argument("--no-cache", action="store_true",
                    help="do not persist trace artifacts")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "lint",
+        help="static µop-cache footprint analysis of the attack programs",
+        description="Build the shipped attack programs, statically "
+                    "verify their micro-op cache footprints and gadget "
+                    "claims, and report diagnostics.  Exits nonzero on "
+                    "any error-severity finding.",
+    )
+    p.add_argument("targets", nargs="*", metavar="TARGET",
+                   help="lint targets (default: all); see repro.lint.runner")
+    p.add_argument("--all", action="store_true",
+                   help="lint every registered target (the default when "
+                        "no targets are named)")
+    p.add_argument("--cross-check", action="store_true",
+                   help="also run short simulations and diff predicted "
+                        "vs observed dsb_fill events (XC001 on divergence)")
+    p.add_argument("--show-info", action="store_true",
+                   help="include info-severity diagnostics in the report")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the full report as JSON ('-' for stdout)")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("cache", help="inspect/clear the result store")
     p.add_argument("action", choices=["stats", "clear"])

@@ -34,6 +34,7 @@ from repro.cpu.config import CPUConfig
 from repro.cpu.noise import NoiseModel
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
+from repro.lint.gadgets import ChainClaim, PairClaim
 from repro.session import AttackSession
 
 RECV_ARENA = 0x44_0000
@@ -96,27 +97,27 @@ class BranchTargetInjection(AttackSession):
         asm.reserve("handler_table", 8)
         asm.reserve("attacker_target", 8)
 
-        emit_probe(
-            asm, "probe",
-            FootprintSpec(tiger_sets, self.probe_ways, RECV_ARENA),
-            "probe_result",
+        probe_spec = FootprintSpec(tiger_sets, self.probe_ways, RECV_ARENA)
+        tiger_spec = FootprintSpec(
+            tiger_sets, self.transmit_ways, TTIGER_ARENA,
+            nops_per_region=1, lcp_per_nop=0, jmp_lcp=0,
         )
-        emit_chain(
-            asm, "send_one_t",
-            FootprintSpec(
-                tiger_sets, self.transmit_ways, TTIGER_ARENA,
-                nops_per_region=1, lcp_per_nop=0, jmp_lcp=0,
-            ),
-            exit_kind="ret",
+        zebra_spec = FootprintSpec(
+            zebra_sets, self.transmit_ways, TZEBRA_ARENA,
+            nops_per_region=1, lcp_per_nop=0, jmp_lcp=0,
         )
-        emit_chain(
-            asm, "send_zero_t",
-            FootprintSpec(
-                zebra_sets, self.transmit_ways, TZEBRA_ARENA,
-                nops_per_region=1, lcp_per_nop=0, jmp_lcp=0,
-            ),
-            exit_kind="ret",
-        )
+        emit_probe(asm, "probe", probe_spec, "probe_result")
+        emit_chain(asm, "send_one_t", tiger_spec, exit_kind="ret")
+        emit_chain(asm, "send_zero_t", zebra_spec, exit_kind="ret")
+        self._lint_claims = [
+            ChainClaim("probe", probe_spec, "probe"),
+            ChainClaim("send_one_t", tiger_spec, "tiger"),
+            ChainClaim("send_zero_t", zebra_spec, "zebra"),
+        ]
+        self._lint_pairs = [
+            PairClaim("send_one_t", "probe", "conflict"),
+            PairClaim("send_zero_t", "probe", "disjoint"),
+        ]
 
         # --- victim: a benign handler dispatch ------------------------
         asm.org(0x40_0040)

@@ -25,6 +25,7 @@ from repro.core.exploitgen import FootprintSpec, emit_chain, emit_probe, striped
 from repro.core.timing import ProbeTiming
 from repro.errors import ConfigError
 from repro.isa.assembler import Assembler
+from repro.lint.gadgets import ChainClaim, PairClaim
 from repro.session import AttackSession, read_elapsed
 
 __all__ = [
@@ -135,21 +136,23 @@ class CovertChannel(AttackSession):
         tiger_sets = striped_sets(p.nsets)
         stride = 32 // p.nsets
         zebra_sets = striped_sets(p.nsets, offset=max(1, stride // 2))
+        probe_spec = FootprintSpec(tiger_sets, p.nways, RECEIVER_ARENA)
+        tiger_spec = FootprintSpec(tiger_sets, p.nways, SENDER_ARENA)
+        zebra_spec = FootprintSpec(zebra_sets, p.nways, ZEBRA_ARENA)
         asm = Assembler()
         asm.reserve("probe_result", 8)
-        emit_probe(
-            asm, "probe",
-            FootprintSpec(tiger_sets, p.nways, RECEIVER_ARENA),
-            "probe_result",
-        )
-        emit_chain(
-            asm, "send_one",
-            FootprintSpec(tiger_sets, p.nways, SENDER_ARENA),
-        )
-        emit_chain(
-            asm, "send_zero",
-            FootprintSpec(zebra_sets, p.nways, ZEBRA_ARENA),
-        )
+        emit_probe(asm, "probe", probe_spec, "probe_result")
+        emit_chain(asm, "send_one", tiger_spec)
+        emit_chain(asm, "send_zero", zebra_spec)
+        self._lint_claims = [
+            ChainClaim("probe", probe_spec, "probe"),
+            ChainClaim("send_one", tiger_spec, "tiger"),
+            ChainClaim("send_zero", zebra_spec, "zebra"),
+        ]
+        self._lint_pairs = [
+            PairClaim("send_one", "probe", "conflict"),
+            PairClaim("send_zero", "probe", "disjoint"),
+        ]
         return asm.assemble(entry="probe")
 
     def _prime(self) -> None:

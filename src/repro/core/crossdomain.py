@@ -32,6 +32,7 @@ from repro.cpu.config import CPUConfig
 from repro.cpu.noise import NoiseModel
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
+from repro.lint.gadgets import ChainClaim, PairClaim
 from repro.session import AttackSession
 
 SPY_ARENA = 0x44_0000
@@ -78,11 +79,8 @@ class CrossDomainChannel(AttackSession):
         asm.reserve("kernel_secret", 8)
 
         # Spy: user-space probe over the tiger sets, plus a syscall stub.
-        emit_probe(
-            asm, "probe",
-            FootprintSpec(tiger_sets, p.nways, SPY_ARENA),
-            "probe_result",
-        )
+        probe_spec = FootprintSpec(tiger_sets, p.nways, SPY_ARENA)
+        emit_probe(asm, "probe", probe_spec, "probe_result")
         asm.org(SPY_ARENA + 12 * 1024)
         asm.label("invoke")
         asm.emit(enc.syscall())
@@ -97,16 +95,24 @@ class CrossDomainChannel(AttackSession):
         asm.emit(enc.test_reg("r11", "r11"))
         asm.emit(enc.jcc("nz", "k_routine_one"))
         asm.emit(enc.jmp("k_routine_zero"))
-        emit_chain(
-            asm, "k_routine_one",
-            FootprintSpec(tiger_sets, p.nways, KTIGER_ARENA),
-            exit_kind="sysret",
-        )
-        emit_chain(
-            asm, "k_routine_zero",
-            FootprintSpec(zebra_sets, p.nways, KZEBRA_ARENA),
-            exit_kind="sysret",
-        )
+        ktiger_spec = FootprintSpec(tiger_sets, p.nways, KTIGER_ARENA)
+        kzebra_spec = FootprintSpec(zebra_sets, p.nways, KZEBRA_ARENA)
+        emit_chain(asm, "k_routine_one", ktiger_spec, exit_kind="sysret")
+        emit_chain(asm, "k_routine_zero", kzebra_spec, exit_kind="sysret")
+        self._lint_claims = [
+            ChainClaim("probe", probe_spec, "probe"),
+            ChainClaim("k_routine_one", ktiger_spec, "tiger"),
+            ChainClaim("k_routine_zero", kzebra_spec, "zebra"),
+        ]
+        # Privilege-level partitioning maps kernel and user code into
+        # disjoint cache halves -- the mitigation working as designed --
+        # so the cross-domain conflict only holds without it.  The
+        # disjointness of the zebra survives either way.
+        self._lint_pairs = [PairClaim("k_routine_zero", "probe", "disjoint")]
+        if not self.config.privilege_partition_uop_cache:
+            self._lint_pairs.append(
+                PairClaim("k_routine_one", "probe", "conflict")
+            )
         prog = asm.assemble(entry="probe")
         prog.kernel_ranges.append((KERNEL_BASE, KERNEL_END))
         return prog

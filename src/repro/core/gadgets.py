@@ -99,10 +99,13 @@ def scan(program: Program, window: int = 12) -> GadgetCensus:
 
     ``window`` bounds how many instructions past the bounds check the
     def-use chase looks, mirroring how far a transient window plausibly
-    reaches.
+    reaches.  It is clamped to the program length (short programs --
+    including empty and single-instruction ones -- are always safe to
+    scan), and a non-positive window finds nothing.
     """
     census = GadgetCensus()
     instrs = list(program.iter_instructions())
+    window = max(0, min(window, len(instrs)))
     for i, instr in enumerate(instrs):
         guard_reg = _guard_register(instr)
         if guard_reg is None:

@@ -31,6 +31,7 @@ from repro.cpu.config import CPUConfig
 from repro.cpu.noise import NoiseModel
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
+from repro.lint.gadgets import ChainClaim, PairClaim
 from repro.session import AttackSession
 
 RX_ARENA = 0x44_0000
@@ -120,6 +121,11 @@ class SMTChannel(AttackSession):
         asm.emit(enc.dec("r2"))
         asm.emit(enc.jcc("nz", "tx_idle"))
         asm.emit(enc.halt())
+        self._lint_claims = [
+            ChainClaim("rx", rx_spec, "probe"),
+            ChainClaim("tx", tx_spec, "tiger"),
+        ]
+        self._lint_pairs = [PairClaim("tx", "rx", "conflict")]
         return asm.assemble(entry="rx_epoch")
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ from repro.cpu.counters import PerfCounters
 from repro.cpu.noise import NoiseModel
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
+from repro.lint.gadgets import ChainClaim, PairClaim
 from repro.session import AttackSession
 
 RECV_ARENA = 0x44_0000
@@ -145,41 +146,41 @@ class UopCacheSpectreV1(AttackSession):
         asm.data("array_size", (ARRAY_BYTES).to_bytes(8, "little"))
 
         # Receiver probe + architectural calibration conflict function.
-        emit_probe(
-            asm, "probe",
-            FootprintSpec(
-                tiger_sets, self.probe_ways, RECV_ARENA, total_sets=total
-            ),
-            "probe_result",
+        probe_spec = FootprintSpec(
+            tiger_sets, self.probe_ways, RECV_ARENA, total_sets=total
         )
-        emit_chain(
-            asm, "cal_conflict",
-            FootprintSpec(
-                tiger_sets, self.transmit_ways, CAL_ARENA, total_sets=total
-            ),
+        cal_spec = FootprintSpec(
+            tiger_sets, self.transmit_ways, CAL_ARENA, total_sets=total
         )
+        emit_probe(asm, "probe", probe_spec, "probe_result")
+        emit_chain(asm, "cal_conflict", cal_spec)
         # Transient transmitters (callable, return).  Unlike the
         # attacker's probes, these must be *cheap to fetch* so the
         # whole footprint lands inside the transient window: one NOP
         # per region and no length-changing prefixes.
-        emit_chain(
-            asm, "send_one_t",
-            FootprintSpec(
-                tiger_sets, self.transmit_ways, TTIGER_ARENA,
-                nops_per_region=1, lcp_per_nop=0, jmp_lcp=0,
-                total_sets=total,
-            ),
-            exit_kind="ret",
+        tiger_spec = FootprintSpec(
+            tiger_sets, self.transmit_ways, TTIGER_ARENA,
+            nops_per_region=1, lcp_per_nop=0, jmp_lcp=0,
+            total_sets=total,
         )
-        emit_chain(
-            asm, "send_zero_t",
-            FootprintSpec(
-                zebra_sets, self.transmit_ways, TZEBRA_ARENA,
-                nops_per_region=1, lcp_per_nop=0, jmp_lcp=0,
-                total_sets=total,
-            ),
-            exit_kind="ret",
+        zebra_spec = FootprintSpec(
+            zebra_sets, self.transmit_ways, TZEBRA_ARENA,
+            nops_per_region=1, lcp_per_nop=0, jmp_lcp=0,
+            total_sets=total,
         )
+        emit_chain(asm, "send_one_t", tiger_spec, exit_kind="ret")
+        emit_chain(asm, "send_zero_t", zebra_spec, exit_kind="ret")
+        self._lint_claims = [
+            ChainClaim("probe", probe_spec, "probe"),
+            ChainClaim("cal_conflict", cal_spec, "tiger"),
+            ChainClaim("send_one_t", tiger_spec, "tiger"),
+            ChainClaim("send_zero_t", zebra_spec, "zebra"),
+        ]
+        self._lint_pairs = [
+            PairClaim("send_one_t", "probe", "conflict"),
+            PairClaim("cal_conflict", "probe", "conflict"),
+            PairClaim("send_zero_t", "probe", "disjoint"),
+        ]
 
         if self.deep_window:
             asm.data("array_size_ptr",
@@ -509,21 +510,21 @@ class LfenceBypass(AttackSession):
         asm.reserve("secret2", 8)
         asm.reserve("fun_table", 16)
 
-        emit_probe(
-            asm, "probe",
-            FootprintSpec(tiger_sets, self.probe_ways, RECV_ARENA),
-            "probe_result",
-        )
-        emit_chain(
-            asm, "target_one",
-            FootprintSpec(tiger_sets, self.target_ways, TTIGER_ARENA),
-            exit_kind="ret",
-        )
-        emit_chain(
-            asm, "target_zero",
-            FootprintSpec(zebra_sets, self.target_ways, TZEBRA_ARENA),
-            exit_kind="ret",
-        )
+        probe_spec = FootprintSpec(tiger_sets, self.probe_ways, RECV_ARENA)
+        one_spec = FootprintSpec(tiger_sets, self.target_ways, TTIGER_ARENA)
+        zero_spec = FootprintSpec(zebra_sets, self.target_ways, TZEBRA_ARENA)
+        emit_probe(asm, "probe", probe_spec, "probe_result")
+        emit_chain(asm, "target_one", one_spec, exit_kind="ret")
+        emit_chain(asm, "target_zero", zero_spec, exit_kind="ret")
+        self._lint_claims = [
+            ChainClaim("probe", probe_spec, "probe"),
+            ChainClaim("target_one", one_spec, "tiger"),
+            ChainClaim("target_zero", zero_spec, "zebra"),
+        ]
+        self._lint_pairs = [
+            PairClaim("target_one", "probe", "conflict"),
+            PairClaim("target_zero", "probe", "disjoint"),
+        ]
 
         for fence in ("nf", "lf", "cp"):
             asm.align(64)

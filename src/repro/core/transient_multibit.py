@@ -30,6 +30,7 @@ from repro.cpu.noise import NoiseModel
 from repro.errors import ConfigError
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
+from repro.lint.gadgets import ChainClaim, PairClaim
 from repro.session import AttackSession
 
 _PROBE_ARENAS = 0x44_0000
@@ -115,25 +116,36 @@ class JumpTableSpectre(AttackSession):
         asm.data("array_size", (ARRAY_BYTES).to_bytes(8, "little"))
         asm.reserve("transmit_table", 8 * self.groups)
 
+        self._lint_claims = []
+        self._lint_pairs = []
         for g in range(self.groups):
             sets = self._group_sets(g)
-            emit_probe(
-                asm, f"probe_{g}",
-                FootprintSpec(
-                    sets, self.probe_ways,
-                    _PROBE_ARENAS + g * _ARENA_STRIDE,
-                ),
-                "probe_results",
+            probe_spec = FootprintSpec(
+                sets, self.probe_ways, _PROBE_ARENAS + g * _ARENA_STRIDE
             )
-            emit_chain(
-                asm, f"send_{g}",
-                FootprintSpec(
-                    sets, self.transmit_ways,
-                    _SEND_ARENAS + g * _ARENA_STRIDE,
-                    nops_per_region=1, lcp_per_nop=0, jmp_lcp=0,
-                ),
-                exit_kind="ret",
+            send_spec = FootprintSpec(
+                sets, self.transmit_ways, _SEND_ARENAS + g * _ARENA_STRIDE,
+                nops_per_region=1, lcp_per_nop=0, jmp_lcp=0,
             )
+            emit_probe(asm, f"probe_{g}", probe_spec, "probe_results")
+            emit_chain(asm, f"send_{g}", send_spec, exit_kind="ret")
+            self._lint_claims += [
+                ChainClaim(f"probe_{g}", probe_spec, "probe"),
+                ChainClaim(f"send_{g}", send_spec, "tiger"),
+            ]
+            # Each symbol's transmitter must contend with its own
+            # group's probe and stay clear of every other group's:
+            # group separation is the whole multi-bit mechanism.
+            self._lint_pairs.append(
+                PairClaim(f"send_{g}", f"probe_{g}", "conflict")
+            )
+            for h in range(g):
+                self._lint_pairs.append(
+                    PairClaim(f"send_{g}", f"probe_{h}", "disjoint")
+                )
+                self._lint_pairs.append(
+                    PairClaim(f"send_{h}", f"probe_{g}", "disjoint")
+                )
 
         # Victim: r1 = index, r2 = symbol shift (bits * symbol_index).
         asm.org(0x40_0040)

@@ -1,0 +1,303 @@
+"""Parse :mod:`repro.isa.disasm` listings back into programs.
+
+The disassembler promises a *lossless* rendering; this module is the
+other half of that contract.  ``parse_listing`` reconstructs an
+:class:`~repro.isa.assembler.Assembler` stream from a listing and
+reassembles it, and ``signature`` reduces a program to the exact
+byte-level facts (addresses, lengths, prefixes, micro-op structure)
+two programs must share to be the same code.  The round-trip tests
+(``tests/test_disasm_roundtrip.py``) hold both directions together, so
+encoding or disassembly drift that would desynchronize lint locations
+from real addresses fails immediately.
+
+The grammar is the disassembler's output, nothing more: one
+instruction per line (``  0x00400000: mnemonic operands (N uops)``),
+optional ``label:`` lines, optional ``; mark`` comments, optional
+``(lcp xN)`` prefix annotations.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa import encodings as enc
+from repro.isa.assembler import Assembler, AssemblyError
+from repro.isa.program import Program
+
+
+class AsmParseError(AssemblyError):
+    """A listing line the parser cannot reconstruct an encoding for."""
+
+
+_LABEL_RE = re.compile(r"^(\w+):\s*$")
+_INSTR_RE = re.compile(r"^\s+(0x[0-9a-fA-F]+):\s+(.*)$")
+_UOPS_RE = re.compile(r"\s*\(\d+ uops?\)\s*$")
+_LCP_RE = re.compile(r"\s*\(lcp x(\d+)\)\s*$")
+_NOP_RE = re.compile(r"^nop(\d+)$")
+_REG_RE = re.compile(r"^(r\d+|rsp)$")
+_MEM_RE = re.compile(r"^\[(.*)\]$")
+
+#: reg-reg / reg-imm ALU mnemonics the templates emit
+_ALU_OPS = ("add", "sub", "and", "or", "xor", "shl", "shr", "imul")
+#: bare mnemonics that carry no operands
+_BARE = {
+    "ret": enc.ret,
+    "halt": enc.halt,
+    "lfence": enc.lfence,
+    "mfence": enc.mfence,
+    "cpuid": enc.cpuid,
+    "pause": enc.pause,
+    "syscall": enc.syscall,
+    "sysret": enc.sysret,
+}
+
+
+def _is_reg(token: str) -> bool:
+    return bool(_REG_RE.match(token))
+
+
+def _parse_int(token: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AsmParseError(f"expected a number, got {token!r}")
+
+
+def _parse_mem(text: str) -> Dict[str, object]:
+    """``[base + index*scale + disp]`` -> load/store keyword args."""
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        raise AsmParseError(f"expected a memory operand, got {text!r}")
+    base: Optional[str] = None
+    index: Optional[str] = None
+    scale = 1
+    disp = 0
+    for term in match.group(1).split("+"):
+        term = term.strip()
+        if not term:
+            continue
+        if "*" in term:
+            reg, _, factor = term.partition("*")
+            index = reg.strip()
+            scale = _parse_int(factor.strip())
+        elif _is_reg(term):
+            base = term
+        else:
+            disp = _parse_int(term)
+    return {"base": base, "index": index, "scale": scale, "disp": disp}
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split on top-level commas (none occur inside our operands)."""
+    return [part.strip() for part in rest.split(",")] if rest else []
+
+
+def _decode(text: str, lcp: int, target_of: "_TargetFixer"):
+    """One listing line's text -> a fresh MacroOp."""
+    mnem, _, rest = text.partition(" ")
+    rest = rest.strip()
+    ops = _split_operands(rest)
+
+    nop_match = _NOP_RE.match(mnem)
+    if nop_match:
+        return enc.nop(int(nop_match.group(1)), lcp=lcp)
+    if lcp and mnem != "jmp":
+        raise AsmParseError(f"lcp annotation on {mnem!r} has no encoding")
+
+    if mnem in _BARE:
+        if ops:
+            raise AsmParseError(f"{mnem} takes no operands, got {rest!r}")
+        return _BARE[mnem]()
+    if mnem == "movabs":
+        return enc.mov_imm(ops[0], _parse_int(ops[1]), width=64)
+    if mnem == "dec":
+        return enc.dec(ops[0])
+    if mnem == "push":
+        return enc.push(ops[0])
+    if mnem == "pop":
+        return enc.pop(ops[0])
+    if mnem == "lea":
+        return enc.lea(ops[0], **_parse_mem(ops[1]))
+    if mnem == "movzx":
+        # "movzx dst, byte [..]"
+        where = ops[1]
+        if not where.startswith("byte "):
+            raise AsmParseError(f"unsupported movzx form {text!r}")
+        return enc.load(ops[0], size=1, **_parse_mem(where[5:]))
+    if mnem == "mov":
+        dst, src = ops
+        if dst.startswith("byte "):
+            return enc.store(src, size=1, **_parse_mem(dst[5:]))
+        if dst.startswith("["):
+            return enc.store(src, **_parse_mem(dst))
+        if src.startswith("["):
+            return enc.load(dst, **_parse_mem(src))
+        if _is_reg(src):
+            return enc.mov(dst, src)
+        return enc.mov_imm(dst, _parse_int(src), width=32)
+    if mnem in _ALU_OPS:
+        dst, src = ops
+        if _is_reg(src):
+            return enc.alu(mnem, dst, src)
+        return enc.alu_imm(mnem, dst, _parse_int(src))
+    if mnem == "cmp":
+        a, b = ops
+        return enc.cmp_reg(a, b) if _is_reg(b) else enc.cmp_imm(a, _parse_int(b))
+    if mnem == "test":
+        return enc.test_reg(ops[0], ops[1])
+    if mnem == "clflush":
+        kwargs = _parse_mem(ops[0])
+        if kwargs["index"] is not None:
+            raise AsmParseError(f"clflush takes [base + disp], got {text!r}")
+        return enc.clflush(kwargs["base"], disp=kwargs["disp"])
+    if mnem == "rdtsc":
+        # "rdtsc -> dst"
+        arrow, _, dst = rest.partition(" ")
+        if arrow != "->":
+            raise AsmParseError(f"unsupported rdtsc form {text!r}")
+        return enc.rdtsc(dst.strip())
+    if mnem == "jmp":
+        short, operand = _branch_operand(rest)
+        if _is_reg(operand):
+            return enc.jmp_ind(operand)
+        return enc.jmp(target_of(operand), short=short, lcp=lcp)
+    if mnem == "call":
+        short, operand = _branch_operand(rest)
+        if short:
+            raise AsmParseError("call has no short form")
+        if _is_reg(operand):
+            return enc.call_ind(operand)
+        return enc.call(target_of(operand))
+    if mnem.startswith("j") and len(mnem) > 1:
+        short, operand = _branch_operand(rest)
+        return enc.jcc(mnem[1:], target_of(operand), short=short)
+    raise AsmParseError(f"unrecognised instruction {text!r}")
+
+
+def _branch_operand(rest: str) -> Tuple[bool, str]:
+    if rest.startswith("short "):
+        return True, rest[6:].strip()
+    return False, rest
+
+
+class _TargetFixer:
+    """Turns numeric branch targets into synthetic labels.
+
+    Direct branches whose target has no label render as ``jmp 0x...``;
+    reassembly needs a label there, so one is invented and pinned to
+    the address with ``label_at`` after all code is emitted.
+    """
+
+    def __init__(self) -> None:
+        self.pins: Dict[str, int] = {}
+
+    def __call__(self, operand: str) -> str:
+        if not operand.startswith("0x") and not operand.startswith("-"):
+            return operand  # a real label
+        addr = _parse_int(operand)
+        name = f"__target_{addr:x}"
+        self.pins[name] = addr
+        return name
+
+
+def parse_listing(text: str, entry: Optional[str] = None) -> Program:
+    """Reassemble a :func:`repro.isa.disasm.disassemble` listing.
+
+    ``entry`` names the entry label; by default the first instruction's
+    address is used.  Only code survives a listing (reserved data
+    regions are not rendered), so the reassembled program is the same
+    *code*, not the same memory image.
+    """
+    pending: List[str] = []
+    rows: List[Tuple[int, str, int, Tuple[str, ...]]] = []
+    for raw in text.splitlines():
+        if not raw.strip():
+            continue
+        label = _LABEL_RE.match(raw)
+        if label:
+            pending.append(label.group(1))
+            continue
+        instr = _INSTR_RE.match(raw)
+        if not instr:
+            raise AsmParseError(f"unparseable listing line {raw!r}")
+        addr = int(instr.group(1), 16)
+        body = instr.group(2).split(";")[0].rstrip()
+        body = _UOPS_RE.sub("", body)
+        lcp = 0
+        lcp_match = _LCP_RE.search(body)
+        if lcp_match:
+            lcp = int(lcp_match.group(1))
+            body = _LCP_RE.sub("", body)
+        rows.append((addr, body.strip(), lcp, tuple(pending)))
+        pending = []
+    if not rows:
+        raise AsmParseError("empty listing")
+
+    rows.sort(key=lambda row: row[0])
+    target_of = _TargetFixer()
+    asm = Assembler()
+    entry_addr = rows[0][0]
+    defined: Dict[str, int] = {}
+    for addr, body, lcp, labels in rows:
+        asm.org(addr)
+        for name in labels:
+            asm.label(name)
+            defined[name] = addr
+        asm.emit(_decode(body, lcp, target_of))
+    for name, addr in target_of.pins.items():
+        if name not in defined:
+            asm.label_at(name, addr)
+            defined[name] = addr
+    if entry is None:
+        # reuse an existing label at the entry address when there is
+        # one, so re-disassembly renders the identical listing
+        at_entry = [n for n, a in defined.items() if a == entry_addr]
+        if at_entry:
+            entry = at_entry[0]
+        else:
+            entry = "__listing_entry"
+            asm.label_at(entry, entry_addr)
+    return asm.assemble(entry=entry)
+
+
+def signature(program: Program) -> List[Tuple]:
+    """The byte-level identity of a program's code.
+
+    Two programs with equal signatures occupy the same addresses with
+    the same encodings and decode to the same micro-op structure --
+    everything the front end, the placement model and the linter can
+    observe.  Used by the round-trip tests as the equality relation.
+    """
+    out: List[Tuple] = []
+    for instr in program.iter_instructions():
+        uops = tuple(
+            (
+                uop.kind.name,
+                uop.dst,
+                uop.srcs,
+                uop.imm,
+                uop.alu_op,
+                uop.cond,
+                uop.base,
+                uop.index,
+                uop.scale,
+                uop.disp,
+                uop.mem_size,
+                uop.slots,
+            )
+            for uop in instr.uops
+        )
+        out.append(
+            (
+                instr.addr,
+                instr.length,
+                instr.lcp_count,
+                instr.branch_kind.name,
+                instr.target,
+                instr.msrom,
+                instr.cacheable,
+                uops,
+            )
+        )
+    return out

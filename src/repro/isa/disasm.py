@@ -27,17 +27,32 @@ def _operand(uop) -> str:
 def format_instruction(
     instr: MacroOp, labels: Optional[Dict[int, str]] = None
 ) -> str:
-    """One-line rendering of a macro-op."""
+    """One-line rendering of a macro-op.
+
+    The rendering is *lossless*: every encoding distinction that
+    changes byte length or micro-op structure survives in the text
+    (``movabs`` vs ``mov``, ``dec`` vs ``sub``, ``short`` jump forms,
+    ``push``/``pop`` vs their expanded micro-ops), so
+    :mod:`repro.isa.asmparse` can reconstruct the identical program --
+    the round-trip property the lint locations rely on.
+    """
     labels = labels or {}
     mnem = instr.mnemonic
     uop = instr.uops[0]
     kind = uop.kind
-    if kind is UopKind.NOP:
+    # mnemonic-keyed forms first: these share uop kinds with other
+    # templates and would round-trip to the wrong byte length otherwise
+    if mnem == "dec":
+        text = f"dec {uop.dst}"
+    elif mnem == "push":
+        text = f"push {instr.uops[1].srcs[0]}"
+    elif mnem == "pop":
+        text = f"pop {uop.dst}"
+    elif kind is UopKind.NOP:
         text = f"nop{instr.length}"
-        if instr.lcp_count:
-            text += f" (lcp x{instr.lcp_count})"
     elif kind is UopKind.MOV_IMM:
-        text = f"mov {uop.dst}, {uop.imm:#x}"
+        verb = "movabs" if mnem == "mov_imm64" else "mov"
+        text = f"{verb} {uop.dst}, {uop.imm:#x}"
     elif kind is UopKind.MOV:
         text = f"mov {uop.dst}, {uop.srcs[0]}"
     elif kind is UopKind.ALU:
@@ -55,13 +70,20 @@ def format_instruction(
         if uop.mem_size != 8:
             text = f"movzx {uop.dst}, byte {_operand(uop)}"
     elif kind is UopKind.STORE:
-        text = f"mov {_operand(uop)}, {uop.srcs[0]}"
+        where = _operand(uop)
+        if uop.mem_size != 8:
+            where = f"byte {where}"
+        text = f"mov {where}, {uop.srcs[0]}"
+    elif kind is UopKind.LEA:
+        text = f"lea {uop.dst}, {_operand(uop)}"
     elif kind is UopKind.JCC:
         target = labels.get(uop.target, f"{uop.target:#x}")
-        text = f"j{uop.cond} {target}"
+        width = "short " if instr.length == 2 else ""
+        text = f"j{uop.cond} {width}{target}"
     elif kind is UopKind.JMP:
         target = labels.get(uop.target, f"{uop.target:#x}")
-        text = f"jmp {target}"
+        width = "short " if instr.length == 2 else ""
+        text = f"jmp {width}{target}"
     elif kind is UopKind.CALL:
         target = labels.get(uop.target, f"{uop.target:#x}")
         text = f"call {target}"
@@ -74,6 +96,8 @@ def format_instruction(
         text = f"rdtsc -> {uop.dst}"
     else:
         text = mnem
+    if instr.lcp_count:
+        text += f" (lcp x{instr.lcp_count})"
     return text
 
 

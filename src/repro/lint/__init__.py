@@ -1,0 +1,66 @@
+"""``repro.lint``: static µop-cache footprint analysis, gadget
+verification and simulator cross-checking.
+
+Following uops.info's static instruction characterization and uGen's
+validate-before-run discipline, this package derives everything the
+attacks depend on -- set indices, line packing, cacheability, conflict
+relations -- from the assembled :class:`~repro.isa.program.Program` and
+a :class:`~repro.cpu.config.CPUConfig` alone.  Three consumers:
+
+- ``python -m repro lint`` (see :mod:`repro.lint.runner`) lints the
+  shipped attack programs and the gadget corpus;
+- :class:`repro.session.AttackSession` runs a construction-time
+  preflight (opt-out via the ``preflight`` class attribute);
+- the cross-check mode (:mod:`repro.lint.crosscheck`) diffs static
+  predictions against live ``dsb_fill`` events, a differential test of
+  the simulator's placement logic.
+"""
+
+from repro.lint.crosscheck import CrossCheckResult, FillDiff, cross_check
+from repro.lint.diagnostics import (
+    CATALOG,
+    CatalogEntry,
+    Diagnostic,
+    LintError,
+    Severity,
+    errors_of,
+    worst_severity,
+)
+from repro.lint.footprint import (
+    FootprintReport,
+    RegionFootprint,
+    analyze,
+    predicted_set,
+)
+from repro.lint.gadgets import (
+    ChainClaim,
+    PairClaim,
+    verify_chain,
+    verify_claims,
+    verify_pair,
+)
+from repro.lint.rules import check_program, check_sources
+
+__all__ = [
+    "CATALOG",
+    "CatalogEntry",
+    "ChainClaim",
+    "CrossCheckResult",
+    "Diagnostic",
+    "FillDiff",
+    "FootprintReport",
+    "LintError",
+    "PairClaim",
+    "RegionFootprint",
+    "Severity",
+    "analyze",
+    "check_program",
+    "check_sources",
+    "cross_check",
+    "errors_of",
+    "predicted_set",
+    "verify_chain",
+    "verify_claims",
+    "verify_pair",
+    "worst_severity",
+]

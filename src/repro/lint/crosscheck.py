@@ -1,0 +1,169 @@
+"""Differential cross-check: static predictions vs the live simulator.
+
+The static analyzer re-states the front end's region walk and the
+cache's set mapping on purpose (see :mod:`repro.lint.footprint`); this
+module closes the loop.  It attaches a
+:class:`repro.observe.TraceRecorder` to a core, runs a short driver
+callable, and diffs every observed ``dsb_fill`` event -- entry address,
+set index, line count -- against the footprint report.  Any divergence
+is an **XC001** error: either the simulator's placement logic or the
+analyzer has drifted, and both claim to implement Section II-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.footprint import FootprintReport
+from repro.observe.events import DSB_FILL, TraceRecorder
+
+#: Cap on per-entry XC001 diagnostics, so a systematic divergence does
+#: not bury the report under one error per fill event.
+MAX_DIVERGENCE_DIAGNOSTICS = 20
+
+
+@dataclass
+class FillDiff:
+    """One observed fill that disagrees with the static prediction."""
+
+    entry: int
+    cycle: int
+    observed_set: int
+    observed_lines: int
+    predicted_set: Optional[int]  # None: entry unknown to the analyzer
+    predicted_lines: Optional[int]
+
+    def describe(self) -> str:
+        if self.predicted_set is None:
+            return (
+                f"fill at entry {self.entry:#x} (cycle {self.cycle}) "
+                f"was not predicted at all"
+            )
+        return (
+            f"fill at entry {self.entry:#x} (cycle {self.cycle}): "
+            f"observed set {self.observed_set} x{self.observed_lines} "
+            f"line(s), predicted set {self.predicted_set} "
+            f"x{self.predicted_lines}"
+        )
+
+
+@dataclass
+class CrossCheckResult:
+    """Outcome of one differential run."""
+
+    fills: int = 0
+    matches: int = 0
+    diffs: List[FillDiff] = field(default_factory=list)
+    #: distinct entries observed, for coverage reporting
+    entries_seen: int = 0
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of fill events the static model predicted exactly."""
+        return self.matches / self.fills if self.fills else 1.0
+
+    @property
+    def clean(self) -> bool:
+        """True when every observed fill matched the prediction."""
+        return not self.diffs
+
+    def diagnostics(self) -> List[Diagnostic]:
+        """XC001 errors for the divergences (deduplicated by entry)."""
+        out: List[Diagnostic] = []
+        seen: set = set()
+        for diff in self.diffs:
+            if diff.entry in seen:
+                continue
+            seen.add(diff.entry)
+            out.append(
+                Diagnostic("XC001", diff.describe(), addr=diff.entry)
+            )
+            if len(out) >= MAX_DIVERGENCE_DIAGNOSTICS:
+                remaining = len(self.diffs) - len(out)
+                if remaining > 0:
+                    out.append(
+                        Diagnostic(
+                            "XC001",
+                            f"... plus {remaining} further divergent "
+                            f"fill(s) suppressed",
+                        )
+                    )
+                break
+        return out
+
+    def summary(self) -> str:
+        return (
+            f"{self.matches}/{self.fills} fills agree "
+            f"({self.agreement:.1%}) over {self.entries_seen} "
+            f"distinct entries"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "fills": self.fills,
+            "matches": self.matches,
+            "agreement": self.agreement,
+            "entries_seen": self.entries_seen,
+            "diffs": [d.describe() for d in self.diffs],
+        }
+
+
+def cross_check(
+    core,
+    report: FootprintReport,
+    drive: Callable[[], None],
+) -> CrossCheckResult:
+    """Run ``drive()`` with fill observation on and diff the events.
+
+    ``core`` is the :class:`repro.cpu.core.Core` the driver exercises
+    (its event bus is attached for the duration); ``report`` the static
+    analysis of the same program under the same ``CPUConfig``.  Every
+    ``dsb_fill`` the simulator emits is compared against
+    :meth:`FootprintReport.expected_fill`.
+    """
+    recorder = TraceRecorder(kinds=(DSB_FILL,), core=core)
+    recorder.connect()
+    try:
+        drive()
+    finally:
+        recorder.close()
+
+    result = CrossCheckResult()
+    entries = set()
+    for event in recorder.of(DSB_FILL):
+        entry = int(event.get("entry"))
+        observed_set = int(event.get("set"))
+        observed_lines = int(event.get("lines"))
+        entries.add(entry)
+        result.fills += 1
+        predicted = report.expected_fill(entry)
+        if predicted is None:
+            result.diffs.append(
+                FillDiff(
+                    entry=entry,
+                    cycle=event.cycle,
+                    observed_set=observed_set,
+                    observed_lines=observed_lines,
+                    predicted_set=None,
+                    predicted_lines=None,
+                )
+            )
+            continue
+        pred_set, pred_lines = predicted
+        if pred_set == observed_set and pred_lines == observed_lines:
+            result.matches += 1
+        else:
+            result.diffs.append(
+                FillDiff(
+                    entry=entry,
+                    cycle=event.cycle,
+                    observed_set=observed_set,
+                    observed_lines=observed_lines,
+                    predicted_set=pred_set,
+                    predicted_lines=pred_lines,
+                )
+            )
+    result.entries_seen = len(entries)
+    return result

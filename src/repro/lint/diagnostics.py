@@ -1,0 +1,210 @@
+"""Diagnostic model and catalog for the static analyzer.
+
+Every finding the lint subsystem can report is a :class:`Diagnostic`
+carrying a catalog code, a severity, a program location (address and
+nearest label, when the finding is anchored in code) and a fix hint.
+The catalog is the documented contract: codes are stable, so tests,
+CI gates and suppression lists can key on them.
+
+Severity semantics:
+
+- ``ERROR``: the program cannot do what it claims -- a gadget that
+  does not form its eviction set, a macro-op that can never be cached,
+  a branch into a hole.  ``python -m repro lint`` exits nonzero and
+  :meth:`repro.session.AttackSession` preflight refuses to run.
+- ``WARNING``: legal but suspicious -- an uncacheable region, an MSROM
+  line inside a timing window.  Reported, never fatal.
+- ``INFO``: analysis-coverage notes (e.g. an indirect branch the
+  static walk cannot follow).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One documented diagnostic kind."""
+
+    code: str
+    title: str
+    severity: Severity
+    hint: str
+
+
+#: The diagnostic catalog (Section II-B placement rules -> UC0xx,
+#: determinism of the experiment harness -> DT0xx, simulator
+#: cross-check -> XC0xx).  Codes are stable API.
+CATALOG: Dict[str, CatalogEntry] = {
+    entry.code: entry
+    for entry in (
+        CatalogEntry(
+            "UC001", "region-not-cacheable", Severity.WARNING,
+            "the region exceeds the 3-line/18-uop budget or contains an "
+            "instruction (e.g. PAUSE) observed not to enter the cache; "
+            "split it or drop the uncacheable instruction",
+        ),
+        CatalogEntry(
+            "UC002", "macro-op-wider-than-line", Severity.ERROR,
+            "a single macro-op's micro-ops exceed one line and may not "
+            "span a boundary (placement rule 3); it can never be cached",
+        ),
+        CatalogEntry(
+            "UC003", "gadget-misaligned", Severity.ERROR,
+            "the chain region does not start at its claimed "
+            "arena + way*stride + set*32 address; check .org targets "
+            "and arena alignment",
+        ),
+        CatalogEntry(
+            "UC004", "eviction-set-incomplete", Severity.ERROR,
+            "a claimed set receives fewer lines than the claimed ways; "
+            "the conflict will not evict and the channel reads flat",
+        ),
+        CatalogEntry(
+            "UC005", "unintended-set-collision", Severity.ERROR,
+            "code lands in a cache set the footprint does not claim "
+            "(or a claimed-disjoint pair overlaps); fix the region "
+            "addresses or the claimed set list",
+        ),
+        CatalogEntry(
+            "UC006", "lcp-stall-in-hot-loop", Severity.WARNING,
+            "length-changing prefixes inside a loop body stall the "
+            "predecoder every MITE iteration; intentional in tigers, "
+            "a hazard anywhere else",
+        ),
+        CatalogEntry(
+            "UC007", "msrom-line-in-timing-window", Severity.WARNING,
+            "a microcoded instruction between the probe's RDTSC pair "
+            "adds a whole MSROM line and sequencing latency to every "
+            "sample; move it out of the timed window",
+        ),
+        CatalogEntry(
+            "UC008", "imm64-slot-inflation", Severity.INFO,
+            "64-bit immediates consume two micro-op slots (placement "
+            "rule 6) and push this region onto an extra line; use a "
+            "32-bit immediate or hoist the constant",
+        ),
+        CatalogEntry(
+            "UC009", "unresolvable-indirect-flow", Severity.INFO,
+            "an indirect branch/return leaves the static walk; "
+            "footprint predictions past this point are incomplete",
+        ),
+        CatalogEntry(
+            "UC010", "wild-branch-target", Severity.ERROR,
+            "a direct branch targets an address with no instruction; "
+            "the simulator will fault with a wild fetch",
+        ),
+        CatalogEntry(
+            "DT001", "unseeded-rng-in-driver", Severity.WARNING,
+            "an unseeded random.Random() (or module-level random.*) in "
+            "a driver makes trials unreproducible; thread a seed "
+            "through",
+        ),
+        CatalogEntry(
+            "DT002", "cache-key-nondeterminism", Severity.WARNING,
+            "time/uuid/urandom feeding cache-key construction poisons "
+            "the content-addressed store; keys must be pure functions "
+            "of the job parameters",
+        ),
+        CatalogEntry(
+            "XC001", "placement-model-divergence", Severity.ERROR,
+            "the simulator filled a set/line count the static model "
+            "did not predict; the placement logic and the analyzer "
+            "have drifted apart",
+        ),
+    )
+}
+
+
+@dataclass
+class Diagnostic:
+    """One lint finding, anchored to a program location when possible."""
+
+    code: str
+    message: str
+    severity: Optional[Severity] = None  # None -> catalog default
+    addr: Optional[int] = None
+    label: Optional[str] = None
+    context: Optional[str] = None  # disasm line, source file, ...
+
+    def __post_init__(self) -> None:
+        entry = CATALOG.get(self.code)
+        if entry is None:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if self.severity is None:
+            self.severity = entry.severity
+
+    @property
+    def title(self) -> str:
+        """Catalog short name of this diagnostic kind."""
+        return CATALOG[self.code].title
+
+    @property
+    def hint(self) -> str:
+        """Catalog fix hint."""
+        return CATALOG[self.code].hint
+
+    def location(self) -> str:
+        """Human-readable program location."""
+        parts = []
+        if self.label:
+            parts.append(self.label)
+        if self.addr is not None:
+            parts.append(f"{self.addr:#x}")
+        return "@".join(parts) if parts else "<program>"
+
+    def format(self) -> str:
+        """One-line rendering: ``UC004 error eviction-set-incomplete
+        @probe_r3@0x441060: ...``"""
+        ctx = f" [{self.context}]" if self.context else ""
+        return (f"{self.code} {self.severity} {self.title} "
+                f"{self.location()}: {self.message}{ctx}")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering."""
+        return {
+            "code": self.code,
+            "title": self.title,
+            "severity": str(self.severity),
+            "message": self.message,
+            "addr": self.addr,
+            "label": self.label,
+            "context": self.context,
+            "hint": self.hint,
+        }
+
+
+class LintError(Exception):
+    """Raised when a preflight check finds error-severity diagnostics."""
+
+    def __init__(self, diagnostics: List[Diagnostic]):
+        self.diagnostics = diagnostics
+        lines = [d.format() for d in diagnostics]
+        super().__init__(
+            "lint preflight failed with "
+            f"{len(diagnostics)} error(s):\n  " + "\n  ".join(lines)
+        )
+
+
+def worst_severity(diagnostics: List[Diagnostic]) -> Optional[Severity]:
+    """The highest severity present, or None for a clean report."""
+    return max((d.severity for d in diagnostics), default=None)
+
+
+def errors_of(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    """Just the error-severity findings."""
+    return [d for d in diagnostics if d.severity is Severity.ERROR]

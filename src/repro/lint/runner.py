@@ -1,0 +1,392 @@
+"""Lint targets and the ``python -m repro lint`` entry point's engine.
+
+A *target* is one thing the linter knows how to build and check: a
+shipped attack program (built through its driver with the preflight
+disabled, so the runner sees the diagnostics instead of an exception),
+the Listing-1 tiger/zebra demonstration, the synthetic gadget corpus,
+or the driver sources themselves (AST rules only).  ``run_lint`` builds
+the requested targets, runs the footprint rules and the drivers' own
+gadget claims over each, optionally cross-checks the static predictions
+against live ``dsb_fill`` events, and folds everything into a
+:class:`LintRun` that renders as text or JSON.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.lint.crosscheck import CrossCheckResult, cross_check
+from repro.lint.diagnostics import Diagnostic, Severity, errors_of
+from repro.lint.footprint import FootprintReport, analyze
+from repro.lint.gadgets import verify_claims
+from repro.lint.rules import check_program, check_sources
+
+
+@dataclass
+class BuiltTarget:
+    """One buildable lint target, ready for analysis."""
+
+    name: str
+    program: Optional[object] = None  # repro.isa.program.Program
+    config: Optional[object] = None  # repro.cpu.config.CPUConfig
+    chains: list = field(default_factory=list)
+    pairs: list = field(default_factory=list)
+    #: live core + zero-arg driver for the cross-check mode; targets
+    #: without one are static-only
+    core: Optional[object] = None
+    drive: Optional[Callable[[], None]] = None
+    #: source-scan targets have no program at all
+    source_scan: bool = False
+
+
+@contextmanager
+def _no_preflight():
+    """Build sessions without the construction-time preflight: the
+    runner wants the diagnostics as data, not as a raised LintError."""
+    from repro.session import AttackSession
+
+    prev = AttackSession.preflight
+    AttackSession.preflight = False
+    try:
+        yield
+    finally:
+        AttackSession.preflight = prev
+
+
+# ----------------------------------------------------------------------
+# target builders (driver imports stay inside: repro.core drivers import
+# repro.lint for their claims, so module level would be a cycle)
+
+
+def _from_session(name: str, session, drive=None) -> BuiltTarget:
+    chains, pairs = session.lint_claims()
+    return BuiltTarget(
+        name=name,
+        program=session.program,
+        config=session.config,
+        chains=chains,
+        pairs=pairs,
+        core=session.core if drive is not None else None,
+        drive=drive,
+    )
+
+
+def _build_covert() -> BuiltTarget:
+    from repro.core.covert import CovertChannel
+
+    with _no_preflight():
+        chan = CovertChannel()
+
+    def drive() -> None:
+        for bit in (1, 0):
+            chan._prime()
+            chan._send(bit)
+            chan._call("probe")
+
+    return _from_session("covert", chan, drive)
+
+
+def _build_tigerzebra() -> BuiltTarget:
+    """The paper's Listing 1: probe + tiger + zebra, no driver."""
+    from repro.core.exploitgen import (
+        FootprintSpec,
+        emit_chain,
+        emit_probe,
+        striped_sets,
+    )
+    from repro.cpu.config import CPUConfig
+    from repro.cpu.core import Core
+    from repro.isa.assembler import Assembler
+    from repro.lint.gadgets import ChainClaim, PairClaim
+
+    config = CPUConfig.skylake()
+    tiger_sets = striped_sets(8)
+    zebra_sets = striped_sets(8, offset=2)
+    probe_spec = FootprintSpec(tiger_sets, 6, 0x44_0000)
+    tiger_spec = FootprintSpec(tiger_sets, 6, 0x48_0000)
+    zebra_spec = FootprintSpec(zebra_sets, 6, 0x4C_0000)
+    asm = Assembler()
+    asm.reserve("probe_result", 8)
+    emit_probe(asm, "probe", probe_spec, "probe_result")
+    emit_chain(asm, "tiger", tiger_spec)
+    emit_chain(asm, "zebra", zebra_spec)
+    program = asm.assemble(entry="probe")
+    core = Core(config, program)
+
+    def drive() -> None:
+        for label in ("probe", "tiger", "probe", "zebra", "probe"):
+            core.call(label)
+
+    return BuiltTarget(
+        name="tigerzebra",
+        program=program,
+        config=config,
+        chains=[
+            ChainClaim("probe", probe_spec, "probe"),
+            ChainClaim("tiger", tiger_spec, "tiger"),
+            ChainClaim("zebra", zebra_spec, "zebra"),
+        ],
+        pairs=[
+            PairClaim("tiger", "probe", "conflict"),
+            PairClaim("zebra", "probe", "disjoint"),
+        ],
+        core=core,
+        drive=drive,
+    )
+
+
+def _build_smt() -> BuiltTarget:
+    from repro.core.smtchannel import SMTChannel
+
+    with _no_preflight():
+        chan = SMTChannel()
+    return _from_session("smt", chan)
+
+
+def _build_spectre() -> BuiltTarget:
+    from repro.core.transient import UopCacheSpectreV1
+
+    with _no_preflight():
+        attack = UopCacheSpectreV1(secret=b"!")
+    return _from_session("spectre", attack)
+
+
+def _build_classic() -> BuiltTarget:
+    from repro.core.transient import ClassicSpectreV1
+
+    with _no_preflight():
+        attack = ClassicSpectreV1(secret=b"!")
+    return _from_session("classic", attack)
+
+
+def _build_lfence() -> BuiltTarget:
+    from repro.core.transient import LfenceBypass
+
+    with _no_preflight():
+        attack = LfenceBypass()
+    return _from_session("lfence", attack)
+
+
+def _build_bti() -> BuiltTarget:
+    from repro.core.bti import BranchTargetInjection
+
+    with _no_preflight():
+        attack = BranchTargetInjection(secret=b"!")
+    return _from_session("bti", attack)
+
+
+def _build_crossdomain() -> BuiltTarget:
+    from repro.core.crossdomain import CrossDomainChannel
+
+    with _no_preflight():
+        chan = CrossDomainChannel()
+    return _from_session("crossdomain", chan)
+
+
+def _build_jumptable() -> BuiltTarget:
+    from repro.core.transient_multibit import JumpTableSpectre
+
+    with _no_preflight():
+        attack = JumpTableSpectre(secret=b"!")
+    return _from_session("jumptable", attack)
+
+
+def _build_keyextract() -> BuiltTarget:
+    from repro.core.keyextract import ModexpVictim
+
+    with _no_preflight():
+        victim = ModexpVictim()
+    return _from_session("keyextract", victim)
+
+
+def _build_corpus() -> BuiltTarget:
+    from repro.core.gadgets import generate_corpus
+    from repro.cpu.config import CPUConfig
+
+    return BuiltTarget(
+        name="corpus",
+        program=generate_corpus(functions=40),
+        config=CPUConfig.skylake(),
+    )
+
+
+def _build_sources() -> BuiltTarget:
+    return BuiltTarget(name="sources", source_scan=True)
+
+
+#: Every target ``--all`` lints, in report order.
+TARGETS: Dict[str, Callable[[], BuiltTarget]] = {
+    "tigerzebra": _build_tigerzebra,
+    "covert": _build_covert,
+    "smt": _build_smt,
+    "crossdomain": _build_crossdomain,
+    "spectre": _build_spectre,
+    "classic": _build_classic,
+    "lfence": _build_lfence,
+    "bti": _build_bti,
+    "jumptable": _build_jumptable,
+    "keyextract": _build_keyextract,
+    "corpus": _build_corpus,
+    "sources": _build_sources,
+}
+
+#: Targets the cross-check mode drives (the rest stay static).
+CROSS_CHECK_TARGETS = ("tigerzebra", "covert")
+
+
+@dataclass
+class TargetResult:
+    """Lint outcome for one target."""
+
+    name: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    regions: int = 0
+    elapsed: float = 0.0
+    crosscheck: Optional[CrossCheckResult] = None
+    build_error: Optional[str] = None
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return errors_of(self.diagnostics)
+
+    @property
+    def ok(self) -> bool:
+        return self.build_error is None and not self.errors
+
+    def counts(self) -> Dict[str, int]:
+        out = {"error": 0, "warning": 0, "info": 0}
+        for diag in self.diagnostics:
+            out[str(diag.severity)] += 1
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "target": self.name,
+            "ok": self.ok,
+            "regions": self.regions,
+            "elapsed_s": round(self.elapsed, 4),
+            "counts": self.counts(),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+        if self.crosscheck is not None:
+            data["crosscheck"] = self.crosscheck.as_dict()
+        if self.build_error is not None:
+            data["build_error"] = self.build_error
+        return data
+
+
+@dataclass
+class LintRun:
+    """One complete lint invocation over a set of targets."""
+
+    results: List[TargetResult] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "elapsed_s": round(self.elapsed, 4),
+            "targets": [r.as_dict() for r in self.results],
+        }
+
+    def render(self, show_info: bool = False) -> str:
+        """Human-readable report, one block per target."""
+        lines: List[str] = []
+        for result in self.results:
+            counts = result.counts()
+            head = (
+                f"{result.name}: "
+                f"{counts['error']} error(s), "
+                f"{counts['warning']} warning(s), "
+                f"{counts['info']} info"
+            )
+            if result.regions:
+                head += f", {result.regions} region(s)"
+            head += f"  [{result.elapsed:.2f}s]"
+            lines.append(head)
+            if result.build_error is not None:
+                lines.append(f"  build failed: {result.build_error}")
+            for diag in result.diagnostics:
+                if diag.severity is Severity.INFO and not show_info:
+                    continue
+                lines.append(f"  {diag.format()}")
+            if result.crosscheck is not None:
+                lines.append(f"  cross-check: {result.crosscheck.summary()}")
+        total_err = sum(r.counts()["error"] for r in self.results)
+        total_err += sum(1 for r in self.results if r.build_error)
+        verdict = "clean" if self.ok else f"{total_err} error(s)"
+        lines.append(
+            f"lint: {len(self.results)} target(s), {verdict} "
+            f"[{self.elapsed:.2f}s]"
+        )
+        return "\n".join(lines)
+
+
+def lint_target(
+    name: str,
+    builder: Callable[[], BuiltTarget],
+    cross: bool = False,
+) -> TargetResult:
+    """Build and lint one target; build crashes become the result."""
+    start = time.perf_counter()
+    result = TargetResult(name=name)
+    try:
+        target = builder()
+        if target.source_scan:
+            result.diagnostics = check_sources()
+        else:
+            report = analyze(target.program, target.config)
+            result.regions = len(report.regions)
+            result.diagnostics = check_program(report)
+            result.diagnostics.extend(
+                verify_claims(report, target.chains, target.pairs)
+            )
+            if cross and target.drive is not None:
+                result.crosscheck = cross_check(
+                    target.core, report, target.drive
+                )
+                result.diagnostics.extend(result.crosscheck.diagnostics())
+    except Exception:
+        result.build_error = traceback.format_exc(limit=3).strip()
+    result.elapsed = time.perf_counter() - start
+    return result
+
+
+def run_lint(
+    names: Optional[Sequence[str]] = None, cross: bool = False
+) -> LintRun:
+    """Lint the named targets (default: all of them).
+
+    ``cross=True`` additionally drives the targets in
+    :data:`CROSS_CHECK_TARGETS` against the live simulator and diffs
+    every observed fill (XC001 on divergence).
+    """
+    if names:
+        unknown = [n for n in names if n not in TARGETS]
+        if unknown:
+            raise KeyError(
+                f"unknown lint target(s) {unknown}; "
+                f"known: {', '.join(TARGETS)}"
+            )
+        selected = list(names)
+    else:
+        selected = list(TARGETS)
+    start = time.perf_counter()
+    run = LintRun()
+    for name in selected:
+        do_cross = cross and name in CROSS_CHECK_TARGETS
+        run.results.append(lint_target(name, TARGETS[name], cross=do_cross))
+    run.elapsed = time.perf_counter() - start
+    return run

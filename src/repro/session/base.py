@@ -66,6 +66,15 @@ class AttackSession:
     """Base class owning program build, core lifecycle, cycle
     accounting and calibration for one attack instance."""
 
+    #: Opt-out switch for the static lint preflight (class attribute so
+    #: a subclass -- or a harness that knowingly builds broken layouts
+    #: -- can disable it wholesale).  When on, construction runs
+    #: ``repro.lint`` over the freshly built program and refuses to
+    #: hand back a session whose gadget layout provably cannot do what
+    #: it claims (raising :class:`repro.lint.LintError`) -- failing in
+    #: milliseconds instead of after a silently-flat experiment.
+    preflight: bool = True
+
     def __init__(self, config: CPUConfig, noise: Optional[NoiseModel] = None):
         self.config = config
         self.noise = noise
@@ -74,7 +83,12 @@ class AttackSession:
         self.total_cycles = 0
         self.timing: Optional[ProbeTiming] = None
         self.classifier: Optional[TimingClassifier] = None
+        #: Findings of the construction-time preflight (all severities);
+        #: empty when the preflight is disabled.
+        self.lint_findings: list = []
         self.setup()
+        if self.preflight:
+            self._run_preflight()
 
     # ------------------------------------------------------------------
     # subclass hooks
@@ -87,6 +101,45 @@ class AttackSession:
         """Post-assembly state installation (e.g. function-pointer
         tables).  Runs after construction and after every
         :meth:`reset`; keep it idempotent and architectural-only."""
+
+    def lint_claims(self) -> Tuple[list, list]:
+        """``(chains, pairs)`` the driver claims about its gadget layout.
+
+        Drivers populate ``self._lint_claims`` /  ``self._lint_pairs``
+        inside :meth:`build_program` (where the
+        :class:`~repro.core.exploitgen.FootprintSpec` objects live);
+        override this instead for computed claims.
+        """
+        return (
+            getattr(self, "_lint_claims", []),
+            getattr(self, "_lint_pairs", []),
+        )
+
+    # ------------------------------------------------------------------
+    # preflight
+
+    def _run_preflight(self) -> None:
+        """Statically verify the built program and the driver's claims.
+
+        Imported lazily: ``repro.lint`` is a consumer of the session
+        layer's drivers in its runner, so the dependency must stay
+        runtime-only here.
+        """
+        from repro.lint import (
+            LintError,
+            analyze,
+            check_program,
+            errors_of,
+            verify_claims,
+        )
+
+        report = analyze(self.program, self.config)
+        chains, pairs = self.lint_claims()
+        self.lint_findings = check_program(report)
+        self.lint_findings.extend(verify_claims(report, chains, pairs))
+        errors = errors_of(self.lint_findings)
+        if errors:
+            raise LintError(errors)
 
     # ------------------------------------------------------------------
     # lifecycle

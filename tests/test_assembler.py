@@ -66,10 +66,19 @@ def test_align_without_padding_leaves_gap():
     assert prog.at(0x1001) is None  # hole
 
 
-def test_align_requires_power_of_two():
-    asm = Assembler()
+@pytest.mark.parametrize("boundary", [0, -32, 3, 48, 33])
+@pytest.mark.parametrize("pad", [True, False])
+def test_align_requires_power_of_two(boundary, pad):
+    """Both the padding and the hole-leaving path must reject bad
+    boundaries instead of silently mis-padding."""
+    asm = Assembler(base=0x1000)
+    asm.emit(enc.nop(1))
     with pytest.raises(AssemblyError):
-        asm.align(48)
+        asm.align(boundary, pad=pad)
+    # the failed align must not have moved the cursor or emitted pad
+    asm.label("after")
+    prog = asm.assemble()
+    assert prog.addr_of("after") == 0x1001
 
 
 def test_org_rejects_overlap():

@@ -108,6 +108,51 @@ class TestShapes:
         assert scan(program, window=24).uop_cache_total == 1
 
 
+class TestScanDegenerateInputs:
+    """The window is clamped to the program length: empty and tiny
+    programs must scan safely whatever window a caller passes."""
+
+    def test_empty_program(self):
+        empty = Assembler().assemble()
+        assert scan(empty).uop_cache_total == 0
+
+    def test_single_instruction_program(self):
+        asm = Assembler()
+        asm.emit(enc.ret())
+        program = asm.assemble()
+        assert scan(program).uop_cache_total == 0
+        assert scan(program, window=1000).uop_cache_total == 0
+
+    def test_window_larger_than_program(self):
+        def build(asm):
+            asm.emit(enc.cmp_imm("r1", 256))
+            asm.emit(enc.jcc("ae", "out"))
+            asm.emit(enc.mov_imm("r9", asm.resolve("tbl"), width=64))
+            asm.emit(enc.load("r3", "r9", index="r1", size=1))
+            asm.label("out")
+
+        # an oversized window clamps; the finding is unchanged
+        assert scan(assemble(build), window=10**6).uop_cache_total == 1
+
+    def test_nonpositive_window_finds_nothing(self):
+        def build(asm):
+            asm.emit(enc.cmp_imm("r1", 256))
+            asm.emit(enc.jcc("ae", "out"))
+            asm.emit(enc.mov_imm("r9", asm.resolve("tbl"), width=64))
+            asm.emit(enc.load("r3", "r9", index="r1", size=1))
+            asm.label("out")
+
+        program = assemble(build)
+        assert scan(program, window=0).uop_cache_total == 0
+        assert scan(program, window=-7).uop_cache_total == 0
+
+    def test_guard_at_program_end(self):
+        """A cmp as the final instruction must not index past the end."""
+        asm = Assembler()
+        asm.emit(enc.cmp_imm("r1", 256))
+        assert scan(asm.assemble()).uop_cache_total == 0
+
+
 class TestCorpusCensus:
     @pytest.fixture(scope="class")
     def census(self):

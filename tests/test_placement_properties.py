@@ -1,0 +1,199 @@
+"""Property-test battery for the Section II-B placement rules.
+
+``repro.uopcache.placement.build_lines`` is shared between the
+simulator's fill path and the static analyzer (``repro.lint``), so a
+packing bug corrupts both sides of the cross-check at once.  Each
+property here pins one of the six placement rules over randomly
+composed macro-op sequences; ``test_uopcache_placement.py`` keeps the
+example-based coverage, this file does the adversarial search.
+
+Rules (paper Section II-B / Table at ``uopcache.placement``):
+
+1. at most 18 micro-ops (3 lines) per 32-byte region, else uncacheable;
+2. microcoded (MSROM) instructions take a whole line by themselves;
+3. a macro-op's micro-ops may not span a line boundary;
+4. an unconditional branch is the last micro-op of its line;
+5. at most two branches per line;
+6. 64-bit immediates consume two slots.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import encodings as enc
+from repro.uopcache.placement import build_lines
+
+#: Menu of macro-ops a random region draws from.  Each entry is a
+#: zero-argument constructor so every draw gets a fresh MacroOp.
+_MENU = {
+    "nop1": lambda: enc.nop(1),
+    "nop3": lambda: enc.nop(3),
+    "nop5_lcp": lambda: enc.nop(5, lcp=1),
+    "alu": lambda: enc.alu("add", "r1", "r2"),
+    "imm32": lambda: enc.mov_imm("r1", 7, width=32),
+    "imm64": lambda: enc.mov_imm("r1", 7, width=64),  # 2 slots (rule 6)
+    "rdtsc": lambda: enc.rdtsc("r1"),  # 2 micro-ops, must not split
+    "push": lambda: enc.push("r1"),  # 2 micro-ops
+    "load": lambda: enc.load("r2", "r1"),
+    "jcc": lambda: enc.jcc("z", "t", short=True),
+    "cpuid": lambda: enc.cpuid(),  # MSROM (rule 2)
+    "syscall": lambda: enc.syscall(),  # MSROM + unconditional
+    "pause": lambda: enc.pause(),  # never cacheable
+    "jmp": lambda: enc.jmp("t", short=True),  # terminator (rule 4)
+    "ret": lambda: enc.ret(),  # terminator
+}
+
+#: Choices that end a fetch walk -- a realistic region has at most one,
+#: in final position.
+_TERMINATORS = ("jmp", "ret", "syscall")
+
+
+@st.composite
+def region_macros(draw):
+    """A bound, walk-shaped macro-op sequence within one 32-byte region."""
+    names = draw(
+        st.lists(
+            st.sampled_from(sorted(_MENU)), min_size=1, max_size=14
+        )
+    )
+    macros = []
+    total = 0
+    for name in names:
+        macro = _MENU[name]()
+        if total + macro.length > 32:
+            break
+        macros.append(macro)
+        total += macro.length
+        if name in _TERMINATORS:
+            break
+    if not macros:
+        macros = [enc.nop(1)]
+    addr = 0x4000
+    for macro in macros:
+        macro.bind(addr)
+        if macro.target_label:
+            macro.target = 0x9000  # branches resolve out of the region
+        addr += macro.length
+    return macros
+
+
+def _lines(macros):
+    return build_lines(macros)
+
+
+@given(region_macros())
+@settings(max_examples=300, deadline=None)
+def test_rule1_line_budget_or_uncacheable(macros):
+    """<= 3 lines when packed; rejection only for genuinely oversized
+    or uncacheable content (checked by repacking with no line cap)."""
+    lines = _lines(macros)
+    if lines is not None:
+        assert 1 <= len(lines) <= 3
+        return
+    if any(not m.cacheable for m in macros):
+        return
+    uncapped = build_lines(macros, max_lines_per_region=10_000)
+    assert uncapped is not None and len(uncapped) > 3
+
+
+@given(region_macros())
+@settings(max_examples=300, deadline=None)
+def test_rule2_msrom_takes_a_whole_line(macros):
+    lines = _lines(macros)
+    if lines is None:
+        return
+    for line in lines:
+        from_msrom = [u for u in line.uops if u.from_msrom]
+        if from_msrom:
+            assert line.msrom
+            # nothing shares a line with microcode
+            assert from_msrom == list(line.uops)
+            macro_addrs = {u.macro_addr for u in line.uops}
+            assert len(macro_addrs) == 1
+
+
+@given(region_macros())
+@settings(max_examples=300, deadline=None)
+def test_rule3_no_macro_spans_a_line_boundary(macros):
+    lines = _lines(macros)
+    if lines is None:
+        return
+    homes = {}
+    for i, line in enumerate(lines):
+        for uop in line.uops:
+            homes.setdefault(uop.macro_addr, set()).add(i)
+    for addr, line_set in homes.items():
+        assert len(line_set) == 1, (
+            f"macro at {addr:#x} split over lines {sorted(line_set)}"
+        )
+
+
+@given(region_macros())
+@settings(max_examples=300, deadline=None)
+def test_rule4_unconditional_branch_ends_its_line(macros):
+    lines = _lines(macros)
+    if lines is None:
+        return
+    for line in lines:
+        if line.msrom:
+            continue  # microcode expansions are not subject to rule 4
+        for uop in line.uops[:-1]:
+            assert not uop.is_unconditional
+
+
+@given(region_macros())
+@settings(max_examples=300, deadline=None)
+def test_rule5_at_most_two_branches_per_line(macros):
+    lines = _lines(macros)
+    if lines is None:
+        return
+    for line in lines:
+        assert sum(1 for u in line.uops if u.is_branch) <= 2
+
+
+@given(region_macros())
+@settings(max_examples=300, deadline=None)
+def test_rule6_slot_accounting_includes_imm64_tax(macros):
+    """Line slot counts equal the sum of member slot costs (a 64-bit
+    immediate costs 2), lines never overflow, and nothing is lost.
+    MSROM lines are charged as a full line whatever their expansion."""
+    lines = _lines(macros)
+    if lines is None:
+        return
+    for line in lines:
+        if line.msrom:
+            continue
+        assert line.slots == sum(u.slots for u in line.uops)
+        assert line.slots <= 6
+    packed = sum(
+        line.slots for line in lines if not line.msrom
+    )
+    regular = sum(m.slot_count for m in macros if not m.msrom)
+    assert packed == regular
+
+
+@given(region_macros())
+@settings(max_examples=300, deadline=None)
+def test_packing_preserves_program_order(macros):
+    """The packed micro-op stream is exactly the decode stream --
+    no reordering, duplication or loss."""
+    lines = _lines(macros)
+    if lines is None:
+        return
+    flat = [u for line in lines for u in line.uops]
+    assert flat == [u for m in macros for u in m.uops]
+
+
+def test_empty_region_is_uncacheable():
+    assert build_lines([]) is None
+
+
+@given(st.integers(min_value=0, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_pause_poisons_any_region(prefix_nops):
+    macros = [enc.nop(1) for _ in range(prefix_nops)] + [enc.pause()]
+    addr = 0x4000
+    for m in macros:
+        m.bind(addr)
+        addr += m.length
+    assert build_lines(macros) is None
