@@ -22,6 +22,16 @@ Batch orchestration (``repro.harness``):
   (``repro.observe``): event summary, optional set-occupancy heatmaps
   (``--heatmap``) and Chrome trace-event export (``--chrome out.json``,
   loadable in chrome://tracing or Perfetto)
+
+Serving (``repro.serve``):
+
+- ``serve``         -- async experiment service over the harness:
+  bounded admission queue with 429 backpressure, in-flight coalescing
+  of identical submissions, NDJSON event streams, graceful SIGTERM
+  drain
+- ``submit``        -- client: expand a shorthand (``covert``,
+  ``table2``, ``workloads``, ``lint``, ``trace``, raw ``job``) into a
+  spec, POST it, optionally ``--wait`` for the result
 """
 
 from __future__ import annotations
@@ -386,93 +396,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # Structured tracing (repro.observe)
 
-
-def _trace_covert():
-    from repro.core.covert import ChannelParams, CovertChannel
-    from repro.observe import OccupancySnapshot, TraceRecorder
-
-    channel = CovertChannel(ChannelParams())
-    recorder = TraceRecorder().connect(channel.core)
-    channel.transmit(b"uop")
-    recorder.close()
-    # Reproduce Listing 1's conflict pattern for the heatmaps: prime
-    # the receiver, then run the tiger (same stripes: conflict) and
-    # the zebra (complementary stripes: no conflict).
-    channel.reset()
-    capture = OccupancySnapshot.capture
-    channel._prime()
-    snaps = [capture(channel.core.uop_cache, "receiver primed")]
-    channel._send(1)
-    snaps.append(capture(channel.core.uop_cache, "after tiger (bit=1)"))
-    channel._send(0)
-    snaps.append(capture(channel.core.uop_cache, "after zebra (bit=0)"))
-    return recorder, snaps
-
-
-def _trace_spectre():
-    from repro.core.transient import UopCacheSpectreV1
-    from repro.observe import OccupancySnapshot, TraceRecorder
-
-    attack = UopCacheSpectreV1(secret=b"\xa5")
-    recorder = TraceRecorder().connect(attack.core)
-    attack.leak()
-    recorder.close()
-    return recorder, [
-        OccupancySnapshot.capture(attack.core.uop_cache, "after leak")
-    ]
-
-
-def _trace_classic():
-    from repro.core.transient import ClassicSpectreV1
-    from repro.observe import OccupancySnapshot, TraceRecorder
-
-    attack = ClassicSpectreV1(secret=b"\xa5")
-    recorder = TraceRecorder().connect(attack.core)
-    attack.leak()
-    recorder.close()
-    return recorder, [
-        OccupancySnapshot.capture(attack.core.uop_cache, "after leak")
-    ]
-
-
-def _trace_smt():
-    from repro.core.smtchannel import SMTChannel, SMTChannelParams
-    from repro.observe import OccupancySnapshot, TraceRecorder
-
-    channel = SMTChannel(SMTChannelParams())
-    recorder = TraceRecorder().connect(channel.core)
-    channel.transmit(b"u")
-    recorder.close()
-    return recorder, [
-        OccupancySnapshot.capture(channel.core.uop_cache, "after transmit")
-    ]
-
-
-def _trace_keyextract():
-    from repro.core.keyextract import KeyExtractor
-    from repro.observe import OccupancySnapshot, TraceRecorder
-
-    extractor = KeyExtractor(nbits=8)
-    # the victim session (and its core) is built lazily and reused
-    # across runs; reset() keeps observe subscribers attached
-    core = extractor._victim_session().core
-    recorder = TraceRecorder().connect(core)
-    extractor.extract(0xB5)
-    recorder.close()
-    return recorder, [
-        OccupancySnapshot.capture(core.uop_cache, "after extraction")
-    ]
-
-
-#: Seconds-scale named experiments for ``repro trace`` (each returns a
-#: closed TraceRecorder and a list of occupancy snapshots).
-_TRACE_TARGETS = {
-    "covert": _trace_covert,
-    "spectre": _trace_spectre,
-    "classic": _trace_classic,
-    "smt": _trace_smt,
-    "keyextract": _trace_keyextract,
-}
+#: Names accepted by ``repro trace`` / ``repro submit trace`` -- the
+#: implementations live in :mod:`repro.observe.capture` so the serving
+#: layer's worker processes can run them too.
+_TRACE_EXPERIMENTS = ("classic", "covert", "keyextract", "smt", "spectre")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -481,12 +408,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     from repro.harness.job import CACHE_SCHEMA_VERSION, canonical_json
     from repro.observe import (
+        capture_trace,
         chrome_trace,
         validate_chrome_trace,
         write_chrome_trace,
     )
 
-    recorder, snaps = _TRACE_TARGETS[args.experiment]()
+    recorder, snaps = capture_trace(args.experiment)
 
     print(f"trace: {args.experiment} -- {len(recorder.events)} events")
     for kind, count in sorted(recorder.counts().items()):
@@ -573,6 +501,133 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     elif args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.root}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Serving (repro.serve)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import run_server
+
+    print(f"repro serve: listening on {args.host}:{args.port} "
+          f"({args.workers} worker(s), queue capacity "
+          f"{args.queue_capacity}, mode {args.worker_mode})")
+    print("SIGTERM/SIGINT drains gracefully: running jobs finish, "
+          "new submissions get 503")
+    run_server(host=args.host, port=args.port, workers=args.workers,
+               queue_capacity=args.queue_capacity, cache=_make_cache(args),
+               worker_mode=args.worker_mode)
+    print("repro serve: drained")
+    return 0
+
+
+def _submit_spec(args: argparse.Namespace) -> dict:
+    """Expand a ``repro submit`` shorthand into a spec document."""
+    import json
+
+    if args.experiment == "job":
+        if not args.job_fn:
+            raise SystemExit("submit job needs --fn NAME")
+        params = {"fn": args.job_fn,
+                  "params": json.loads(args.params) if args.params else {}}
+        kind = "job"
+    elif args.experiment == "covert":
+        payload = (args.payload or "uop cache leaks!").encode().hex()
+        params = {"fn": "covert.table1_row",
+                  "params": {"mode": "Same address space",
+                             "payload_hex": payload}}
+        kind = "job"
+    elif args.experiment == "table2":
+        params = {"fn": "attacks.table2_row",
+                  "axes": {"attack": ["classic", "uop_cache"]},
+                  "base": {"secret_hex": "a53c"}}
+        kind = "sweep"
+    elif args.experiment == "workloads":
+        params = {"fn": "workloads.run",
+                  "axes": {"name": ["branchy", "hash_loop", "hot_loop",
+                                    "interpreter", "large_code", "matvec",
+                                    "pointer_chase", "syscall_heavy"]},
+                  "base": {"scale": args.scale}}
+        kind = "sweep"
+    elif args.experiment == "lint":
+        params = {"targets": None if not args.targets else args.targets}
+        if params["targets"] is None:
+            params = {}
+        kind = "lint"
+    elif args.experiment == "trace":
+        params = {"experiment": args.target or "covert"}
+        kind = "trace"
+    else:  # pragma: no cover -- choices= forbids this
+        raise SystemExit(f"unknown submit shorthand {args.experiment!r}")
+    spec = {"kind": kind, "params": params, "seed": args.seed,
+            "priority": args.priority}
+    if args.timeout is not None:
+        spec["timeout"] = args.timeout
+    if args.refresh:
+        spec["refresh"] = True
+    return spec
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    import threading
+
+    from repro.serve.client import ServeClient, ServeError
+
+    spec = _submit_spec(args)
+    client = ServeClient(host=args.host, port=args.port)
+    copies = max(1, args.copies)
+    records = [None] * copies
+    errors = [None] * copies
+
+    def one(i: int) -> None:
+        try:
+            if args.wait:
+                records[i] = client.submit_and_wait(spec)
+            else:
+                records[i] = client.submit(spec)
+        except (ServeError, OSError) as exc:
+            errors[i] = exc
+
+    if copies == 1:
+        one(0)
+    else:
+        # Concurrent identical submissions: the server must coalesce
+        # them onto one execution (the CI smoke test asserts this via
+        # the /metrics 'coalesced' counter).
+        threads = [threading.Thread(target=one, args=(i,))
+                   for i in range(copies)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    failures = [e for e in errors if e is not None]
+    for exc in failures:
+        print(f"submit failed: {exc}")
+    done = [r for r in records if r is not None]
+    for record in done:
+        status = record.get("status")
+        print(f"{record.get('id')}: {record.get('describe')} "
+              f"[{status}] source={record.get('source')} "
+              f"key={str(record.get('key'))[:16]}...")
+        if status == "done" and args.wait and not args.json:
+            print(json.dumps(record.get("result"), indent=2,
+                             sort_keys=True)[:2000])
+        elif status in ("failed", "timeout"):
+            print(f"  error: {record.get('error')}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"spec": spec, "records": done}, fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if failures:
+        return 1
+    if args.wait and any(r.get("status") != "done" for r in done):
+        return 1
     return 0
 
 
@@ -675,7 +730,7 @@ def main(argv=None) -> int:
                     "optionally render micro-op cache occupancy heatmaps "
                     "and export a Chrome trace-event JSON timeline.",
     )
-    p.add_argument("experiment", choices=sorted(_TRACE_TARGETS))
+    p.add_argument("experiment", choices=sorted(_TRACE_EXPERIMENTS))
     p.add_argument("--chrome", metavar="PATH", default=None,
                    help="write the run as Chrome trace-event JSON "
                         "(chrome://tracing / Perfetto)")
@@ -714,6 +769,76 @@ def main(argv=None) -> int:
     p.add_argument("action", choices=["stats", "clear"])
     p.add_argument("--cache-dir", default=None, metavar="DIR")
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the async experiment service (repro.serve)",
+        description="Expose the harness over HTTP/JSON: POST /v1/jobs "
+                    "enqueues experiment specs on a bounded priority "
+                    "queue, identical concurrent submissions coalesce "
+                    "onto one execution, and results stream as NDJSON. "
+                    "SIGTERM drains gracefully.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787)
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="worker processes executing specs (default 2)")
+    p.add_argument("--queue-capacity", type=int, default=64, metavar="N",
+                   help="admission queue bound; beyond it, 429 + "
+                        "Retry-After (default 64)")
+    p.add_argument("--worker-mode", default="process",
+                   choices=["process", "thread"],
+                   help="worker tier flavour (threads lose in-worker "
+                        "SIGALRM timeouts; default process)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result store shared with 'batch' (default: "
+                        "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without a result store (no warm answers)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit an experiment to a running 'repro serve'",
+        description="Client for the experiment service: expand a "
+                    "shorthand into a spec document, POST it, optionally "
+                    "wait for the result.  --copies N submits N identical "
+                    "specs concurrently (they coalesce server-side onto "
+                    "one execution).",
+    )
+    p.add_argument("experiment",
+                   choices=["covert", "table2", "workloads", "lint",
+                            "trace", "job"],
+                   help="shorthand: covert=Table I row, table2=Table II "
+                        "sweep, workloads=benign suite sweep, lint, "
+                        "trace, or a raw 'job' via --fn/--params")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787)
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job is terminal and print the "
+                        "result")
+    p.add_argument("--copies", type=int, default=1, metavar="N",
+                   help="submit N identical specs concurrently "
+                        "(coalescing demo/smoke)")
+    p.add_argument("--fn", dest="job_fn", default=None, metavar="NAME",
+                   help="(job) registered harness function")
+    p.add_argument("--params", default=None, metavar="JSON",
+                   help="(job) parameters as a JSON object")
+    p.add_argument("--payload", default=None, help="(covert) message")
+    p.add_argument("--scale", type=int, default=1, help="(workloads)")
+    p.add_argument("--targets", nargs="*", default=None, metavar="T",
+                   help="(lint) target subset")
+    p.add_argument("--target", default=None, metavar="NAME",
+                   help="(trace) experiment name (default covert)")
+    p.add_argument("--seed", type=int, default=17)
+    p.add_argument("--priority", type=int, default=0, metavar="0-9")
+    p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                   help="per-spec execution budget")
+    p.add_argument("--refresh", action="store_true",
+                   help="bypass the warm cache; recompute")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write spec + records as one JSON document")
+    p.set_defaults(fn=_cmd_submit)
 
     args = parser.parse_args(argv)
     return args.fn(args)

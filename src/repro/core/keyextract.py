@@ -311,6 +311,16 @@ class KeyExtractor:
         self.d_zero: Optional[float] = None
         self._victim: Optional[ModexpVictim] = None
 
+    def reset(self) -> None:
+        """Return to the just-constructed state: drop the fitted
+        thresholds and reset the victim session (kept assembled for
+        reuse).  Makes the extractor poolable via
+        :class:`repro.session.SessionPool`."""
+        self.d_one = None
+        self.d_zero = None
+        if self._victim is not None:
+            self._victim.reset()
+
     def _victim_session(self) -> ModexpVictim:
         """The victim + spy pair, built once and reused via reset().
 

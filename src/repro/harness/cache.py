@@ -43,19 +43,72 @@ def default_cache_dir() -> Path:
 
 @dataclass
 class CacheStats:
-    """Summary of what the store currently holds."""
+    """Summary of what the store currently holds (results and named
+    artifacts are counted separately)."""
 
     root: str
     entries: int
     total_bytes: int
+    artifacts: int = 0
+    artifact_bytes: int = 0
 
     def format(self) -> str:
         """One-line human rendering."""
         kib = self.total_bytes / 1024
+        akib = self.artifact_bytes / 1024
         return (
-            f"{self.entries} cached result(s), {kib:.1f} KiB "
+            f"{self.entries} cached result(s), {kib:.1f} KiB + "
+            f"{self.artifacts} artifact(s), {akib:.1f} KiB "
             f"under {self.root} (schema v{CACHE_SCHEMA_VERSION})"
         )
+
+
+def _unlink_quiet(path) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def _atomic_write(path: Path, blob: bytes) -> Path:
+    """Install ``blob`` at ``path`` atomically (temp file in the
+    destination directory, then ``os.replace``).
+
+    Safe under concurrent multi-process writers: two processes racing
+    on one key each write a private temp file and the final rename is
+    atomic, so readers only ever see a complete record.  A concurrent
+    ``clear()`` can delete the parent directory between our ``mkdir``
+    and the write/rename -- that surfaces as ``FileNotFoundError``, and
+    we simply re-create the directory and retry.
+    """
+    last_error: Optional[BaseException] = None
+    for _ in range(5):
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        except FileExistsError as exc:
+            # exist_ok's own is_dir() recheck races against a
+            # concurrent clear(): treat it like any other retryable
+            # directory churn.
+            last_error = exc
+            continue
+        try:
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        except FileNotFoundError as exc:  # parent raced away: retry
+            last_error = exc
+            continue
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+            return path
+        except FileNotFoundError as exc:  # ditto, between mkstemp/replace
+            _unlink_quiet(tmp)
+            last_error = exc
+            continue
+        except BaseException:
+            _unlink_quiet(tmp)
+            raise
+    raise last_error  # repeated strikes: the directory will not stay put
 
 
 class ResultCache:
@@ -107,20 +160,7 @@ class ResultCache:
             "result": result,
         }
         blob = canonical_json(record)
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+        return _atomic_write(self.path_for(key), blob)
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None
@@ -144,20 +184,7 @@ class ResultCache:
         """Atomically store an artifact (``bytes`` or ``str``)."""
         if isinstance(data, str):
             data = data.encode("utf-8")
-        path = self.artifact_path(key, name)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+        return _atomic_write(self.artifact_path(key, name), data)
 
     def get_artifact(self, key: str, name: str) -> Optional[bytes]:
         """Stored artifact bytes, or ``None`` when absent/unreadable."""
@@ -168,24 +195,47 @@ class ResultCache:
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _walk(base: Path, pattern: str):
+        """``base.rglob(pattern)``, tolerant of directories a concurrent
+        ``clear()`` deletes mid-walk (pathlib only swallows
+        ``PermissionError``; a vanished directory must be a no-op too)."""
+        try:
+            yield from sorted(base.rglob(pattern))
+        except FileNotFoundError:
+            return
+
     def _artifact_files(self):
         if not self.artifacts_dir.is_dir():
             return
-        for path in sorted(self.artifacts_dir.rglob("*")):
-            if path.is_file():
+        for path in self._walk(self.artifacts_dir, "*"):
+            if path.is_file() and path.suffix != ".tmp":
                 yield path
+
+    def _stray_tmp_files(self):
+        """Orphaned ``.tmp`` files (a writer died mid-``put``)."""
+        for base in (self.objects_dir, self.artifacts_dir):
+            if not base.is_dir():
+                continue
+            for path in self._walk(base, "*.tmp"):
+                if path.is_file():
+                    yield path
 
     def _blobs(self):
         if not self.objects_dir.is_dir():
             return
-        for shard in sorted(self.objects_dir.iterdir()):
+        try:
+            shards = sorted(self.objects_dir.iterdir())
+        except FileNotFoundError:
+            return
+        for shard in shards:
             if not shard.is_dir():
                 continue
-            for blob in sorted(shard.glob("*.json")):
+            for blob in self._walk(shard, "*.json"):
                 yield blob
 
     def stats(self) -> CacheStats:
-        """Entry count and on-disk footprint."""
+        """Entry/artifact counts and on-disk footprint."""
         entries = 0
         total = 0
         for blob in self._blobs():
@@ -194,11 +244,20 @@ class ResultCache:
             except OSError:
                 continue
             entries += 1
-        return CacheStats(str(self.root), entries, total)
+        artifacts = 0
+        artifact_bytes = 0
+        for path in self._artifact_files():
+            try:
+                artifact_bytes += path.stat().st_size
+            except OSError:
+                continue
+            artifacts += 1
+        return CacheStats(str(self.root), entries, total,
+                          artifacts, artifact_bytes)
 
     def clear(self) -> int:
-        """Delete every stored result and artifact; returns the count
-        of files removed."""
+        """Delete every stored result and artifact (plus any orphaned
+        temp files); returns the count of files removed."""
         removed = 0
         for blob in list(self._blobs()):
             try:
@@ -206,24 +265,28 @@ class ResultCache:
             except OSError:
                 continue
             removed += 1
-        if self.objects_dir.is_dir():
-            for shard in list(self.objects_dir.iterdir()):
-                try:
-                    shard.rmdir()
-                except OSError:
-                    pass
         for path in list(self._artifact_files()):
             try:
                 path.unlink()
             except OSError:
                 continue
             removed += 1
+        for path in list(self._stray_tmp_files()):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        if self.objects_dir.is_dir():
+            for shard in reversed(list(self._walk(self.objects_dir, "*"))):
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
         if self.artifacts_dir.is_dir():
             # prune now-empty <shard>/<key> directories bottom-up
-            for directory in sorted(
-                (p for p in self.artifacts_dir.rglob("*") if p.is_dir()),
-                reverse=True,
-            ):
+            for directory in reversed(list(self._walk(self.artifacts_dir,
+                                                      "*"))):
                 try:
                     directory.rmdir()
                 except OSError:

@@ -1,0 +1,73 @@
+"""Synthetic experiment callables: ``debug.*`` jobs.
+
+Real experiments are deterministic and (mostly) well-behaved, which
+makes them useless for exercising the harness's failure machinery and
+awkward for load-testing the serving layer.  These registered jobs
+fill that gap:
+
+- ``debug.echo``   -- returns its parameters (wiring checks);
+- ``debug.spin``   -- a bounded CPU burn (load generation);
+- ``debug.sleep``  -- wall-clock stall (timeout paths, coalescing
+  windows);
+- ``debug.flaky``  -- fails transiently N times before succeeding,
+  counting attempts in a sentinel file so retries are observable
+  across process boundaries (retry paths).
+
+All parameters enter the content hash like any other job's, so
+``debug.sleep`` with a fresh ``token`` is a cache miss and a repeat is
+a hit -- exactly the cold/warm split ``benchmarks/serve_load.py``
+measures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from repro.cpu.config import CPUConfig
+from repro.harness.executor import TransientJobError
+from repro.harness.job import register
+
+
+@register("debug.echo")
+def _job_echo(config: CPUConfig, seed: int, **params) -> Dict[str, Any]:
+    return {"seed": seed, **params}
+
+
+@register("debug.spin")
+def _job_spin(
+    config: CPUConfig, seed: int, n: int, token: int = 0
+) -> Dict[str, Any]:
+    acc = seed & 0x7FFFFFFF
+    for i in range(int(n)):
+        acc = (acc * 1103515245 + i) % 2147483647
+    return {"acc": acc, "n": int(n), "token": token}
+
+
+@register("debug.sleep")
+def _job_sleep(
+    config: CPUConfig, seed: int, seconds: float, token: int = 0
+) -> Dict[str, Any]:
+    time.sleep(float(seconds))
+    return {"slept": float(seconds), "token": token}
+
+
+@register("debug.flaky")
+def _job_flaky(
+    config: CPUConfig, seed: int, sentinel: str, fail_times: int,
+    value: int = 42,
+) -> Dict[str, Any]:
+    """Raise :class:`TransientJobError` on the first ``fail_times``
+    attempts, then succeed.  ``sentinel`` is an attempt-count file
+    shared by every attempt (one line appended per call), so the
+    schedule holds even when retries land in different worker
+    processes."""
+    with open(sentinel, "a+", encoding="utf-8") as fh:
+        fh.seek(0)
+        attempts = len(fh.read().splitlines())
+        fh.write("attempt\n")
+    if attempts < int(fail_times):
+        raise TransientJobError(
+            f"flaky attempt {attempts + 1}/{fail_times} (scheduled failure)"
+        )
+    return {"value": value, "attempts": attempts + 1}

@@ -413,6 +413,8 @@ def run_workloads(
 # ----------------------------------------------------------------------
 # Attack jobs live in their own module; importing it here means
 # ``resolve()``'s lazy load of this catalogue registers them too
-# (worker processes start with an empty registry).
+# (worker processes start with an empty registry).  The ``debug.*``
+# synthetic jobs ride along for the same reason: the serve worker tier
+# and the load benchmarks resolve them inside fresh processes.
 
-from repro.harness import attacks  # noqa: E402,F401  (registers)
+from repro.harness import attacks, debugfns  # noqa: E402,F401  (registers)

@@ -1,0 +1,144 @@
+"""Named trace captures: run an experiment slice under the event bus.
+
+One function per seconds-scale experiment, each returning a closed
+:class:`TraceRecorder` plus a list of :class:`OccupancySnapshot`
+heatmaps.  Both the ``python -m repro trace`` CLI verb and the serving
+layer's ``trace`` experiment kind (:mod:`repro.serve.spec`) dispatch
+through :data:`TRACE_TARGETS`, so the two paths capture identical
+event streams.
+
+Drivers are acquired through the process-wide
+:class:`~repro.session.pool.SessionPool`: a long-lived worker process
+serving repeated trace requests assembles each attack program once and
+``reset()``s it per capture, which keeps captures deterministic (reset
+restores the exact post-construction state) while skipping rebuild
+cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.observe.events import TraceRecorder
+from repro.observe.heatmap import OccupancySnapshot
+
+
+def shared_pool():
+    """The process-wide session pool.
+
+    Imported lazily: the session layer sits on ``repro.cpu.core``,
+    which itself imports ``repro.observe.events`` -- a module-level
+    import here would close that loop during package init.
+    """
+    from repro.session.pool import shared_pool as _shared
+
+    return _shared()
+
+
+def _trace_covert() -> Tuple[TraceRecorder, List[OccupancySnapshot]]:
+    from repro.core.covert import ChannelParams, CovertChannel
+
+    channel = shared_pool().acquire(
+        "trace.covert", lambda: CovertChannel(ChannelParams())
+    )
+    recorder = TraceRecorder().connect(channel.core)
+    channel.transmit(b"uop")
+    recorder.close()
+    # Reproduce Listing 1's conflict pattern for the heatmaps: prime
+    # the receiver, then run the tiger (same stripes: conflict) and
+    # the zebra (complementary stripes: no conflict).
+    channel.reset()
+    capture = OccupancySnapshot.capture
+    channel._prime()
+    snaps = [capture(channel.core.uop_cache, "receiver primed")]
+    channel._send(1)
+    snaps.append(capture(channel.core.uop_cache, "after tiger (bit=1)"))
+    channel._send(0)
+    snaps.append(capture(channel.core.uop_cache, "after zebra (bit=0)"))
+    return recorder, snaps
+
+
+def _trace_spectre() -> Tuple[TraceRecorder, List[OccupancySnapshot]]:
+    from repro.core.transient import UopCacheSpectreV1
+
+    attack = shared_pool().acquire(
+        "trace.spectre", lambda: UopCacheSpectreV1(secret=b"\xa5")
+    )
+    recorder = TraceRecorder().connect(attack.core)
+    attack.leak()
+    recorder.close()
+    return recorder, [
+        OccupancySnapshot.capture(attack.core.uop_cache, "after leak")
+    ]
+
+
+def _trace_classic() -> Tuple[TraceRecorder, List[OccupancySnapshot]]:
+    from repro.core.transient import ClassicSpectreV1
+
+    attack = shared_pool().acquire(
+        "trace.classic", lambda: ClassicSpectreV1(secret=b"\xa5")
+    )
+    recorder = TraceRecorder().connect(attack.core)
+    attack.leak()
+    recorder.close()
+    return recorder, [
+        OccupancySnapshot.capture(attack.core.uop_cache, "after leak")
+    ]
+
+
+def _trace_smt() -> Tuple[TraceRecorder, List[OccupancySnapshot]]:
+    from repro.core.smtchannel import SMTChannel, SMTChannelParams
+
+    channel = shared_pool().acquire(
+        "trace.smt", lambda: SMTChannel(SMTChannelParams())
+    )
+    recorder = TraceRecorder().connect(channel.core)
+    channel.transmit(b"u")
+    recorder.close()
+    return recorder, [
+        OccupancySnapshot.capture(channel.core.uop_cache, "after transmit")
+    ]
+
+
+def _trace_keyextract() -> Tuple[TraceRecorder, List[OccupancySnapshot]]:
+    from repro.core.keyextract import KeyExtractor
+
+    extractor = shared_pool().acquire(
+        "trace.keyextract", lambda: KeyExtractor(nbits=8)
+    )
+    # the victim session (and its core) is built lazily and reused
+    # across runs; reset() keeps observe subscribers attached
+    core = extractor._victim_session().core
+    recorder = TraceRecorder().connect(core)
+    extractor.extract(0xB5)
+    recorder.close()
+    return recorder, [
+        OccupancySnapshot.capture(core.uop_cache, "after extraction")
+    ]
+
+
+#: Seconds-scale named experiments for ``repro trace`` and the serving
+#: layer's ``trace`` kind (each returns a closed TraceRecorder and a
+#: list of occupancy snapshots).
+TRACE_TARGETS: Dict[str, Callable[[], Tuple[TraceRecorder, List[OccupancySnapshot]]]] = {
+    "covert": _trace_covert,
+    "spectre": _trace_spectre,
+    "classic": _trace_classic,
+    "smt": _trace_smt,
+    "keyextract": _trace_keyextract,
+}
+
+
+def capture_trace(
+    experiment: str,
+) -> Tuple[TraceRecorder, List[OccupancySnapshot]]:
+    """Run one named capture; ``KeyError``-safe lookup with the valid
+    names in the message."""
+    try:
+        target = TRACE_TARGETS[experiment]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace experiment {experiment!r}; "
+            f"valid: {sorted(TRACE_TARGETS)}"
+        ) from None
+    return target()

@@ -99,12 +99,21 @@ class EventBus:
     Subscribers are plain callables taking one :class:`Event`.  The
     emitting hot paths call :meth:`wants` before building a payload, so
     an attached-but-idle bus costs one dict lookup per site.
+
+    By default the bus speaks the simulator vocabulary
+    (:data:`ALL_KINDS`); other layers can reuse the machinery for their
+    own event families by passing an explicit ``kinds`` tuple (the
+    serving layer's :mod:`repro.serve.metrics` publishes job-lifecycle
+    events this way).
     """
 
-    __slots__ = ("_subs",)
+    __slots__ = ("_subs", "kinds")
 
-    def __init__(self) -> None:
+    def __init__(self, kinds: Optional[Sequence[str]] = None) -> None:
         self._subs: Dict[str, List[Callable[[Event], None]]] = {}
+        self.kinds: Tuple[str, ...] = (
+            tuple(kinds) if kinds is not None else ALL_KINDS
+        )
 
     # ------------------------------------------------------------------
     # subscription
@@ -120,11 +129,11 @@ class EventBus:
         :meth:`unsubscribe`.  Unknown kind names raise ``ValueError``
         -- a misspelled kind would otherwise silently record nothing.
         """
-        targets = ALL_KINDS if kinds is None else tuple(kinds)
+        targets = self.kinds if kinds is None else tuple(kinds)
         for kind in targets:
-            if kind not in ALL_KINDS:
+            if kind not in self.kinds:
                 raise ValueError(
-                    f"unknown event kind {kind!r}; valid: {ALL_KINDS}"
+                    f"unknown event kind {kind!r}; valid: {self.kinds}"
                 )
             self._subs.setdefault(kind, []).append(fn)
         return fn

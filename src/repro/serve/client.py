@@ -1,0 +1,181 @@
+"""Thin synchronous client for the experiment service.
+
+Built on :mod:`http.client` (stdlib), one request per connection to
+match the server's ``Connection: close`` framing.  The client is the
+programmatic face of ``python -m repro submit``: submit a spec, poll
+or stream until terminal, fetch artifacts.
+
+:class:`Backpressure` is a typed signal, not a failure --
+:meth:`ServeClient.submit_and_wait` honours the server's
+``Retry-After`` estimate and retries a bounded number of times before
+giving up.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, Optional
+
+
+class ServeError(RuntimeError):
+    """The service answered with an error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class Backpressure(ServeError):
+    """429: the admission queue is full; retry after ``retry_after``."""
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(429, message)
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Synchronous HTTP client for one service endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {} if payload is None else {
+                "Content-Type": "application/json"}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                doc = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                doc = {"error": raw[:200].decode("utf-8", "replace")}
+            if response.status == 429:
+                retry_after = float(
+                    doc.get("retry_after")
+                    or response.getheader("Retry-After") or 1.0)
+                raise Backpressure(str(doc.get("error", "queue full")),
+                                   retry_after)
+            if response.status >= 400:
+                raise ServeError(response.status,
+                                 str(doc.get("error", raw[:200])))
+            return doc
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # endpoints
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a spec document; returns the job record (terminal when
+        the cache answered, queued/coalesced otherwise)."""
+        return self._request("POST", "/v1/jobs", body=spec)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/jobs")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def artifact(self, job_id: str, name: str) -> bytes:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/artifacts/{name}")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                try:
+                    message = json.loads(raw)["error"]
+                except (ValueError, KeyError, TypeError):
+                    message = raw[:200].decode("utf-8", "replace")
+                raise ServeError(response.status, str(message))
+            return raw
+        finally:
+            conn.close()
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream the job's NDJSON lifecycle events until the server
+        closes the stream (the last event has ``event == "end"``)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw)["error"]
+                except (ValueError, KeyError, TypeError):
+                    message = raw[:200].decode("utf-8", "replace")
+                raise ServeError(response.status, str(message))
+            buffer = b""
+            while True:
+                chunk = response.read1(65536)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # conveniences
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job record is terminal; returns the record."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record.get("status") in ("done", "failed", "timeout",
+                                        "cancelled"):
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record.get('status')} after "
+                    f"{timeout}s")
+            time.sleep(poll)
+
+    def submit_and_wait(self, spec: Dict[str, Any],
+                        timeout: Optional[float] = None,
+                        backpressure_retries: int = 5) -> Dict[str, Any]:
+        """Submit with bounded backpressure retries, then wait."""
+        attempts = 0
+        while True:
+            try:
+                record = self.submit(spec)
+                break
+            except Backpressure as exc:
+                attempts += 1
+                if attempts > backpressure_retries:
+                    raise
+                time.sleep(min(exc.retry_after, 10.0))
+        if record.get("status") in ("done", "failed", "timeout", "cancelled"):
+            return record
+        return self.wait(record["id"], timeout=timeout)

@@ -1,0 +1,124 @@
+"""Bounded priority queue with explicit backpressure.
+
+The admission queue between the HTTP front end and the worker tier.
+Design choices, all deliberate:
+
+- **Bounded.**  A full queue raises :class:`QueueFull` at ``put`` time
+  and the server answers ``429 Retry-After`` -- clients get an honest
+  signal instead of unbounded buffering and silent latency growth.
+- **Priority + FIFO.**  Higher ``priority`` pops first; within one
+  priority, submission order is preserved via a monotonic sequence
+  number (no starvation reordering surprises between equal peers).
+- **Closable.**  ``close()`` starts the drain: queued items continue
+  to pop until the queue is empty, after which :meth:`get` raises
+  :class:`QueueClosed` and the runner loops exit.  Accepted work is
+  finished; only new admissions are refused (by the server, which
+  checks ``closed`` before ``put``).
+- **Removable.**  Cancellation of a still-queued item is a lazy
+  tombstone: :meth:`remove` marks the entry and :meth:`get` skips it,
+  so cancel is O(1) and the heap invariant is untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Any, List, Optional, Tuple
+
+
+class QueueFull(Exception):
+    """Admission refused: the queue is at capacity.
+
+    ``retry_after`` is the server's estimate (in seconds) of when a
+    retry is likely to be admitted; it becomes the HTTP
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, capacity: int, retry_after: float = 1.0):
+        super().__init__(f"queue full ({capacity} entries)")
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
+class QueueClosed(Exception):
+    """The queue is closed and fully drained."""
+
+
+class BoundedPriorityQueue:
+    """asyncio-native bounded priority queue (single event loop)."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._heap: List[Tuple[int, int, List[Any]]] = []
+        self._seq = itertools.count()
+        self._size = 0  # live (non-tombstoned) entries
+        self._closed = False
+        self._not_empty: Optional[asyncio.Condition] = None
+
+    def _cond(self) -> asyncio.Condition:
+        # Created lazily so the queue can be constructed off-loop.
+        if self._not_empty is None:
+            self._not_empty = asyncio.Condition()
+        return self._not_empty
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put_nowait(self, priority: int, item: Any,
+                   retry_after: float = 1.0) -> None:
+        """Admit ``item`` or raise :class:`QueueFull`/:class:`QueueClosed`."""
+        if self._closed:
+            raise QueueClosed("queue is closed to new work")
+        if self._size >= self.capacity:
+            raise QueueFull(self.capacity, retry_after)
+        # [item] is a 1-slot box: remove() empties it to tombstone.
+        heapq.heappush(self._heap, (-int(priority), next(self._seq), [item]))
+        self._size += 1
+
+    async def notify(self) -> None:
+        """Wake one waiting consumer (call after ``put_nowait``)."""
+        cond = self._cond()
+        async with cond:
+            cond.notify()
+
+    async def get(self) -> Any:
+        """Pop the highest-priority live entry; raises
+        :class:`QueueClosed` once closed *and* empty."""
+        cond = self._cond()
+        while True:
+            async with cond:
+                while not self._heap and not self._closed:
+                    await cond.wait()
+                while self._heap:
+                    _, _, box = heapq.heappop(self._heap)
+                    if box:  # skip tombstones
+                        self._size -= 1
+                        return box[0]
+                if self._closed:
+                    raise QueueClosed("queue drained")
+
+    def remove(self, item: Any) -> bool:
+        """Tombstone a queued ``item``; ``False`` when not queued
+        (already popped or never admitted)."""
+        for _, _, box in self._heap:
+            if box and box[0] is item:
+                box.clear()
+                self._size -= 1
+                return True
+        return False
+
+    async def close(self) -> None:
+        """Refuse new admissions; queued work keeps draining."""
+        self._closed = True
+        cond = self._cond()
+        async with cond:
+            cond.notify_all()

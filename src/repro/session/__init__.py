@@ -1,5 +1,6 @@
 """Attack-session layer: shared driver lifecycle over reusable cores."""
 
 from repro.session.base import AttackSession, read_elapsed
+from repro.session.pool import SessionPool, shared_pool
 
-__all__ = ["AttackSession", "read_elapsed"]
+__all__ = ["AttackSession", "SessionPool", "read_elapsed", "shared_pool"]

@@ -1,0 +1,83 @@
+"""Per-process reuse pool for attack sessions.
+
+Building an :class:`~repro.session.base.AttackSession` is the
+expensive part of most attack experiments: the program is assembled,
+the core constructed, and the lint preflight run.  ``reset()`` is
+cheap -- it restores the exact post-construction state without any of
+that work (PR 2's reset-parity tests are the guarantee).  Long-lived
+processes that run the same experiment repeatedly -- the serving
+layer's worker tier above all -- should therefore build each session
+once and reset it between uses.
+
+:class:`SessionPool` is that memo: ``acquire(key, factory)`` returns
+the cached session for ``key`` after resetting it, or builds one via
+``factory`` on first use.  Pools are process-local by design (cores
+are not picklable and must never cross process boundaries); the
+module-level :func:`shared_pool` gives every caller in one process the
+same instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+
+class SessionPool:
+    """Keyed memo of reusable sessions with reset-on-acquire.
+
+    ::
+
+        pool = SessionPool()
+        chan = pool.acquire("covert", lambda: CovertChannel(ChannelParams()))
+        chan.transmit(b"uop")
+        chan = pool.acquire("covert", ...)   # same instance, reset()
+
+    Anything with a ``reset()`` method qualifies -- every
+    :class:`~repro.session.base.AttackSession` subclass, but also
+    composite drivers like :class:`~repro.core.keyextract.KeyExtractor`
+    that own sessions internally.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, Any] = {}
+        self.builds = 0
+        self.reuses = 0
+
+    def acquire(self, key: str, factory: Callable[[], Any]):
+        """The pooled session for ``key``, freshly reset; built via
+        ``factory()`` on first use."""
+        session = self._sessions.get(key)
+        if session is None:
+            session = factory()
+            self._sessions[key] = session
+            self.builds += 1
+        else:
+            session.reset()
+            self.reuses += 1
+        return session
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._sessions
+
+    def discard(self, key: str) -> bool:
+        """Drop one pooled session (e.g. after it raised mid-trial and
+        its state can no longer be trusted)."""
+        return self._sessions.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every pooled session."""
+        self._sessions.clear()
+
+
+_SHARED: Optional[SessionPool] = None
+
+
+def shared_pool() -> SessionPool:
+    """The process-wide session pool (created on first use)."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = SessionPool()
+    return _SHARED

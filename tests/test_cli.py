@@ -129,3 +129,64 @@ def test_profile_unknown_experiment():
 
     with _pytest.raises(SystemExit):
         main(["profile", "frobnicate"])
+
+
+def test_cache_stats_counts_artifacts(tmp_path, capsys):
+    from repro.harness import ResultCache
+
+    cache_dir = str(tmp_path / "cache")
+    cache = ResultCache(cache_dir)
+    cache.put("ab" * 32, "cli.test", {"x": 1})
+    cache.put_artifact("ab" * 32, "trace.json", '{"events": []}')
+    cache.put_artifact("ab" * 32, "heatmap-0.json", "{}")
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "1 cached result(s)" in out
+    assert "2 artifact(s)" in out
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed 3" in capsys.readouterr().out
+
+
+def test_submit_requires_fn_for_raw_job():
+    with pytest.raises(SystemExit, match="--fn"):
+        main(["submit", "job"])
+
+
+def test_submit_unreachable_server_fails_cleanly(capsys):
+    # nothing listens on this port: a clean nonzero exit, not a traceback
+    assert main(["submit", "covert", "--port", "1"]) == 1
+    assert "submit failed" in capsys.readouterr().out
+
+
+def test_submit_shorthands_expand_to_valid_specs():
+    """Every shorthand must pass server-side admission validation."""
+    import argparse
+
+    from repro.__main__ import _submit_spec
+    from repro.serve.spec import ExperimentSpec
+
+    base = dict(job_fn=None, params=None, payload=None, scale=1, targets=None,
+                target=None, seed=17, priority=0, timeout=None,
+                refresh=False)
+    for shorthand in ("covert", "table2", "workloads", "lint", "trace"):
+        args = argparse.Namespace(experiment=shorthand, **base)
+        spec = ExperimentSpec.from_json(_submit_spec(args))
+        assert spec.kind in ("job", "sweep", "lint", "trace")
+    args = argparse.Namespace(
+        experiment="job", **{**base, "job_fn": "debug.echo",
+                             "params": '{"x": 1}'})
+    spec = ExperimentSpec.from_json(_submit_spec(args))
+    assert spec.params["params"] == {"x": 1}
+
+
+def test_serve_parser_accepts_flags():
+    """Parser smoke: 'serve' wiring is valid without binding a socket."""
+    parser_error = None
+    try:
+        # parse_known_args via main's parser is not exposed; drive the
+        # subparser through a dry run that stops before run_server by
+        # pointing at an invalid choice first.
+        main(["serve", "--worker-mode", "bogus"])
+    except SystemExit as exc:
+        parser_error = exc
+    assert parser_error is not None and parser_error.code == 2
