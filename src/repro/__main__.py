@@ -15,7 +15,8 @@ Batch orchestration (``repro.harness``):
 
 - ``batch``         -- run an experiment as a parallel, cached job grid
   (``batch attacks`` runs Tables I & II, key extraction and the
-  transient variants as one cached grid)
+  transient variants as one cached grid; ``batch contention`` runs the
+  resource x sharing-mode contention matrix from ``repro.contention``)
 - ``cache``         -- inspect / clear the content-addressed result store
 - ``profile``       -- cProfile a seconds-scale slice of an experiment
 - ``trace``         -- run an experiment under the structured event bus
@@ -30,8 +31,9 @@ Serving (``repro.serve``):
   of identical submissions, NDJSON event streams, graceful SIGTERM
   drain
 - ``submit``        -- client: expand a shorthand (``covert``,
-  ``table2``, ``workloads``, ``lint``, ``trace``, raw ``job``) into a
-  spec, POST it, optionally ``--wait`` for the result
+  ``itlb``, ``storebuffer``, ``table2``, ``workloads``, ``lint``,
+  ``trace``, raw ``job``) into a spec, POST it, optionally ``--wait``
+  for the result
 """
 
 from __future__ import annotations
@@ -201,7 +203,7 @@ def _runner_kwargs(args: argparse.Namespace) -> dict:
 
 
 def _export_artifacts(args: argparse.Namespace, experiment: str, outcomes,
-                      summary) -> None:
+                      summary, extra=None) -> None:
     from repro.harness import outcome_records, write_csv, write_json, write_jsonl
 
     records = outcome_records(outcomes)
@@ -210,7 +212,10 @@ def _export_artifacts(args: argparse.Namespace, experiment: str, outcomes,
     if args.csv:
         print(f"wrote {write_csv(args.csv, records)}")
     if args.json:
-        print(f"wrote {write_json(args.json, {'experiment': experiment, 'points': records})}")
+        doc = {"experiment": experiment, "points": records}
+        if extra:
+            doc.update(extra)
+        print(f"wrote {write_json(args.json, doc)}")
 
 
 def _batch_characterize(args: argparse.Namespace) -> int:
@@ -281,6 +286,8 @@ def _batch_attacks(args: argparse.Namespace) -> int:
     print(f"  {'Mode':32s} {'BitErr':>8s} {'Kbit/s':>10s} {'w/ECC':>10s}")
     for row in results["table1"]:
         print("  " + row.format())
+    for row in results["contention"]:  # non-DSB channels, same format
+        print("  " + row.format())
     print()
     print(f"  {'Attack':24s} {'Seconds':>11s} {'LLC refs':>12s} "
           f"{'LLC miss':>12s} {'DSB penalty':>14s} {'Acc':>7s}")
@@ -306,9 +313,29 @@ def _batch_attacks(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_contention(args: argparse.Namespace) -> int:
+    from repro.harness.contention import format_matrix, run_contention
+
+    matrix, outcomes, summary = run_contention(
+        fast=args.fast, **_runner_kwargs(args)
+    )
+    n_cells = sum(
+        len(cells) for per_mode in matrix.values()
+        for cells in per_mode.values()
+    )
+    print(f"contention matrix ({len(matrix)} resources, {n_cells} cells; "
+          "slowdown = (contended - baseline) / baseline):")
+    print(format_matrix(matrix))
+    _export_artifacts(args, "contention", outcomes, summary,
+                      extra={"matrix": matrix})
+    print(summary.format())
+    return 0
+
+
 _BATCH_EXPERIMENTS = {
     "attacks": _batch_attacks,
     "characterize": _batch_characterize,
+    "contention": _batch_contention,
     "covert": _batch_covert,
     "workloads": _batch_workloads,
 }
@@ -537,6 +564,18 @@ def _submit_spec(args: argparse.Namespace) -> dict:
         payload = (args.payload or "uop cache leaks!").encode().hex()
         params = {"fn": "covert.table1_row",
                   "params": {"mode": "Same address space",
+                             "payload_hex": payload}}
+        kind = "job"
+    elif args.experiment == "itlb":
+        payload = (args.payload or "uop cache leaks!").encode().hex()
+        params = {"fn": "covert.table1_row",
+                  "params": {"mode": "Cross-thread iTLB (SMT)",
+                             "payload_hex": payload}}
+        kind = "job"
+    elif args.experiment == "storebuffer":
+        payload = (args.payload or "uop cache leaks!").encode().hex()
+        params = {"fn": "covert.table1_row",
+                  "params": {"mode": "Cross-thread store buffer (SMT)",
                              "payload_hex": payload}}
         kind = "job"
     elif args.experiment == "table2":
@@ -807,9 +846,10 @@ def main(argv=None) -> int:
                     "one execution).",
     )
     p.add_argument("experiment",
-                   choices=["covert", "table2", "workloads", "lint",
-                            "trace", "job"],
-                   help="shorthand: covert=Table I row, table2=Table II "
+                   choices=["covert", "itlb", "storebuffer", "table2",
+                            "workloads", "lint", "trace", "job"],
+                   help="shorthand: covert=Table I row, itlb/storebuffer="
+                        "contention covert-channel rows, table2=Table II "
                         "sweep, workloads=benign suite sweep, lint, "
                         "trace, or a raw 'job' via --fn/--params")
     p.add_argument("--host", default="127.0.0.1")
@@ -824,7 +864,8 @@ def main(argv=None) -> int:
                    help="(job) registered harness function")
     p.add_argument("--params", default=None, metavar="JSON",
                    help="(job) parameters as a JSON object")
-    p.add_argument("--payload", default=None, help="(covert) message")
+    p.add_argument("--payload", default=None,
+                   help="(covert, itlb, storebuffer) message")
     p.add_argument("--scale", type=int, default=1, help="(workloads)")
     p.add_argument("--targets", nargs="*", default=None, metavar="T",
                    help="(lint) target subset")

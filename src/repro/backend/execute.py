@@ -26,6 +26,7 @@ from repro.frontend.pipeline import FetchedUop
 from repro.isa.instruction import UopKind
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.mainmem import MainMemory
+from repro.observe.events import SB_DRAIN
 
 _MASK64 = (1 << 64) - 1
 
@@ -113,8 +114,68 @@ class Backend:
         self.hierarchy = hierarchy
         self.rdtsc_jitter = rdtsc_jitter
         self.store_buffers = {0: StoreBuffer(), 1: StoreBuffer()}
+        #: Observability bus (wired by ``Core.observe``; ``None`` keeps
+        #: the hot path at one attribute check).
+        self.observer = None
+        # Store-drain timing model (see ``_store_timing``): per-thread
+        # scheduled commit-completion cycles, plus the next-free cycle
+        # of each L1D write port.  Under "competitive" sharing both
+        # threads drain through port 0.
+        self._sb_commits = {0: [], 1: []}
+        self._sb_port_free = [0, 0]
 
     # ------------------------------------------------------------------
+
+    def reset_store_timing(self) -> None:
+        """Rebase the store-drain schedule (call boundaries, resets).
+
+        The schedule is expressed in pipeline-clock cycles; whenever
+        those clocks rebase (``Core.call`` / ``Core.run_smt`` with
+        ``reset_clocks``, ``Core.reset``) the in-flight commit times
+        from the previous clock domain are meaningless and dropped.
+        """
+        self._sb_commits[0].clear()
+        self._sb_commits[1].clear()
+        self._sb_port_free[0] = 0
+        self._sb_port_free[1] = 0
+
+    def _store_timing(self, thread_id: int, start: int) -> "tuple[int, int, int]":
+        """Charge one store against the bounded drain model.
+
+        Timing-only companion of the functional :class:`StoreBuffer`
+        (which stays unbounded and squash-aware): each store occupies a
+        buffer entry from ``start`` until its commit completes through
+        an L1D write port at one commit per ``store_drain_interval``
+        cycles.  A store arriving at a full buffer stalls until the
+        oldest outstanding commit frees an entry -- the back-pressure
+        the store-buffer contention channel measures.
+
+        Returns ``(stall, occupancy, commit_done)``.
+        """
+        config = self.config
+        queue = self._sb_commits[thread_id]
+        # Retire commits that completed before this store arrived.
+        done = 0
+        for t in queue:
+            if t > start:
+                break
+            done += 1
+        if done:
+            del queue[:done]
+        stall = 0
+        capacity = config.store_buffer_entries
+        if len(queue) >= capacity:
+            # Wait for enough older commits to complete that an entry
+            # is free when this store retires into the buffer.
+            free_at = queue[len(queue) - capacity]
+            stall = max(0, free_at - start)
+            del queue[: len(queue) - capacity + 1]
+        port = 0 if config.store_buffer_sharing == "competitive" else thread_id
+        begin = max(start + stall, self._sb_port_free[port])
+        commit_done = begin + config.store_drain_interval
+        self._sb_port_free[port] = commit_done
+        queue.append(commit_done)  # port times are monotonic: stays sorted
+        return stall, len(queue), commit_done
 
     def _dispatch(self, du: FetchedUop, thread: ThreadContext) -> int:
         """Assign a dispatch cycle respecting the dispatch width."""
@@ -226,6 +287,28 @@ class Backend:
             addr = self._address(uop, regs)
             sbuf.write(du.seq, addr, regs[uop.srcs[0]], uop.mem_size)
             latency = 1
+            if not suppressed:
+                # Suppressed stores never issue, so they neither occupy
+                # a drain slot nor pay back-pressure.  CALL-side stack
+                # pushes bypass the model too (they go through the
+                # CALL/CALL_IND uop kinds), keeping the drain count an
+                # exact mirror of the STORE uops lint can see.
+                stall, occupancy, commit_done = self._store_timing(
+                    thread.thread_id, start
+                )
+                latency += stall
+                obs = self.observer
+                if obs is not None and obs.wants(SB_DRAIN):
+                    obs.emit(
+                        SB_DRAIN,
+                        start,
+                        thread.thread_id,
+                        pc=du.macro.addr,
+                        addr=addr,
+                        occupancy=occupancy,
+                        stall=stall,
+                        commit_done=commit_done,
+                    )
         elif kind is UopKind.JCC:
             taken = _eval_cond(uop.cond, regs["flags"])
             actual_target = (

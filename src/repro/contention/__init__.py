@@ -1,0 +1,49 @@
+"""``repro.contention``: multi-resource SMT contention suite.
+
+The paper's attack lives in the micro-op cache, but its *methodology*
+-- co-resident attacker/victim pairs whose footprints are constructed
+to conflict or to be provably disjoint, timed against a baseline --
+applies to every shared front-end and memory structure.  This package
+generates such pairs for seven resources (micro-op cache, iTLB, dTLB,
+L1i, L1d, store buffer, branch direction predictor), measures a
+resource x sharing-mode slowdown matrix through the batch harness, and
+mounts two new covert channels on the non-DSB resources (iTLB and
+store buffer) in the same Table-I format as the paper's channels.
+
+- :mod:`repro.contention.templates` -- the pair generator
+  (:func:`generate_pair`), emitting lint-claim-carrying programs;
+- :mod:`repro.contention.session` -- :class:`ContentionSession`, one
+  matrix cell (resource, mode, variant) as an AttackSession;
+- :mod:`repro.contention.channels` -- :class:`ITLBChannel` and
+  :class:`StoreBufferChannel`, the two new covert channels.
+"""
+
+from repro.contention.channels import (
+    ITLBChannel,
+    ITLBChannelParams,
+    StoreBufferChannel,
+    StoreBufferChannelParams,
+)
+from repro.contention.session import CellResult, ContentionSession, MODES
+from repro.contention.templates import (
+    RESOURCES,
+    VARIANTS,
+    GeneratedPair,
+    contention_config,
+    generate_pair,
+)
+
+__all__ = [
+    "CellResult",
+    "ContentionSession",
+    "GeneratedPair",
+    "ITLBChannel",
+    "ITLBChannelParams",
+    "MODES",
+    "RESOURCES",
+    "StoreBufferChannel",
+    "StoreBufferChannelParams",
+    "VARIANTS",
+    "contention_config",
+    "generate_pair",
+]

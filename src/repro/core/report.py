@@ -54,6 +54,14 @@ TABLE1_MODES = (
     "Transient Execution Attack",
 )
 
+#: Covert-channel modes added by the contention suite
+#: (:mod:`repro.contention.channels`): the same Table-I protocol and
+#: statistics, leaking through non-DSB shared resources.
+CONTENTION_MODES = (
+    "Cross-thread iTLB (SMT)",
+    "Cross-thread store buffer (SMT)",
+)
+
 
 def table1_row(
     mode: str,
@@ -82,7 +90,20 @@ def table1_row(
         attack = UopCacheSpectreV1(secret=payload, noise=noise)
         stats = attack.leak()
         return _row(mode, attack.channel_report(stats))
-    raise ValueError(f"unknown Table I mode {mode!r}; choose from {TABLE1_MODES}")
+    if mode == "Cross-thread iTLB (SMT)":
+        # Imported lazily: repro.contention builds on the session and
+        # lint layers and is only needed for its own rows.
+        from repro.contention.channels import ITLBChannel
+
+        return _row(mode, ITLBChannel(noise=noise).transmit(payload))
+    if mode == "Cross-thread store buffer (SMT)":
+        from repro.contention.channels import StoreBufferChannel
+
+        return _row(mode, StoreBufferChannel(noise=noise).transmit(payload))
+    raise ValueError(
+        f"unknown Table I mode {mode!r}; choose from "
+        f"{TABLE1_MODES + CONTENTION_MODES}"
+    )
 
 
 def table1(

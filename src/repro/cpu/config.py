@@ -59,6 +59,28 @@ class CPUConfig:
     llc_latency: int = 44
     dram_latency: int = 200
 
+    # ---- TLBs --------------------------------------------------------
+    itlb_entries: int = 128
+    itlb_walk_latency: int = 30
+    # The data-side TLB is modelled only when enabled: the paper's
+    # attacks never exercise it, and keeping the default data path
+    # identical preserves every existing calibration.  The contention
+    # suite (repro.contention) switches it on per-resource.
+    dtlb_enabled: bool = False
+    dtlb_entries: int = 64
+    dtlb_walk_latency: int = 30
+
+    # ---- store buffer ------------------------------------------------
+    # Timing-only drain model (repro.backend.execute): stores retire
+    # into a bounded per-thread buffer whose entries commit through an
+    # L1D write port at one commit per ``store_drain_interval`` cycles.
+    # Under "competitive" sharing both SMT threads contend for one
+    # port (the cross-thread signal the contention suite measures);
+    # "partitioned" gives each thread a private port.
+    store_buffer_entries: int = 56
+    store_drain_interval: int = 2
+    store_buffer_sharing: str = "competitive"  # "competitive" / "partitioned"
+
     # ---- SMT ---------------------------------------------------------
     smt_decode_shared: bool = True  # both vendors share the legacy decoders
 
@@ -82,6 +104,10 @@ class CPUConfig:
             raise ConfigError(f"unknown sharing {self.uop_cache_sharing!r}")
         if self.uop_cache_sets & (self.uop_cache_sets - 1):
             raise ConfigError("uop_cache_sets must be a power of two")
+        if self.store_buffer_sharing not in ("competitive", "partitioned"):
+            raise ConfigError(
+                f"unknown store buffer sharing {self.store_buffer_sharing!r}"
+            )
 
     @property
     def uop_cache_capacity(self) -> int:

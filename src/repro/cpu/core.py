@@ -41,6 +41,7 @@ from repro.isa.instruction import BranchKind, UopKind
 from repro.isa.program import Program
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.mainmem import MainMemory
+from repro.memory.tlb import TLB
 from repro.observe.events import (
     BRANCH_RESOLVE,
     FETCH_BLOCK,
@@ -134,6 +135,14 @@ class Core:
             dram_latency=config.dram_latency,
             on_l1i_evict=self._on_l1i_evict,
             itlb_on_flush=self.uop_cache.flush,
+            itlb_entries=config.itlb_entries,
+            itlb_walk_latency=config.itlb_walk_latency,
+            dtlb=(
+                TLB(entries=config.dtlb_entries,
+                    walk_latency=config.dtlb_walk_latency)
+                if config.dtlb_enabled
+                else None
+            ),
         )
         self.memory = MainMemory()
         for base, payload in program.data.items():
@@ -195,6 +204,7 @@ class Core:
             self.memory.load_image(base, payload)
         for buffer in self.backend.store_buffers.values():
             buffer.clear()
+        self.backend.reset_store_timing()
         self.frontend.smt_active = False
         self.threads = (
             ThreadContext(thread_id=0),
@@ -227,6 +237,7 @@ class Core:
             self.observer = bus
             self.frontend.observer = bus
             self.uop_cache.observer = bus
+            self.backend.observer = bus
         return self.observer
 
     def unobserve(self) -> None:
@@ -238,6 +249,7 @@ class Core:
         self.observer = None
         self.frontend.observer = None
         self.uop_cache.observer = None
+        self.backend.observer = None
         self._trace_sub = None
 
     @property
@@ -360,6 +372,10 @@ class Core:
                 thread.regs[name] = value & ((1 << 64) - 1)
         if reset_clocks:
             thread.reset_pipeline_clocks()
+            # The store-drain schedule lives in the same clock domain
+            # as the pipeline clocks; rebasing one without the other
+            # would leave phantom in-flight commits from the last call.
+            self.backend.reset_store_timing()
         thread.fetch_rip = entry
         thread.fetch_priv = thread.privilege
         thread.halted = False
@@ -398,6 +414,8 @@ class Core:
             )
         self.uop_cache.set_smt_active(True)
         self.frontend.smt_active = True
+        if reset_clocks:
+            self.backend.reset_store_timing()
         befores = []
         for tid in (0, 1):
             thread = self.threads[tid]

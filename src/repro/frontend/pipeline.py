@@ -32,7 +32,7 @@ from repro.frontend.decode import decode_cost, effective_msrom, predecode_cost
 from repro.isa.instruction import BranchKind, MacroOp, MicroOp, UopKind, region_of
 from repro.isa.program import Program
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.observe.events import BRANCH_PREDICT
+from repro.observe.events import BRANCH_PREDICT, ITLB_FILL
 from repro.uopcache.cache import UopCache
 from repro.uopcache.placement import LineSpec, build_lines
 
@@ -254,7 +254,18 @@ class FrontEnd:
             access = self.hierarchy.access_inst(entry)
             if access.level != "L1":
                 counters.icache_misses += 1
-            counters.itlb_misses += self.hierarchy.itlb.misses - itlb_misses_before
+            itlb_missed = self.hierarchy.itlb.misses - itlb_misses_before
+            counters.itlb_misses += itlb_missed
+            if itlb_missed:
+                obs = self.observer
+                if obs is not None and obs.wants(ITLB_FILL):
+                    obs.emit(
+                        ITLB_FILL,
+                        thread.fetch_clock,
+                        thread.thread_id,
+                        entry=entry,
+                        page=self.hierarchy.itlb.page_of(entry),
+                    )
             extra = max(0, access.latency - self.hierarchy.l1i.latency)
             total_bytes = sum(m.length for m in delivered_macros)
             lcp = sum(m.lcp_count for m in delivered_macros)

@@ -177,16 +177,30 @@ def attack_jobs(
 ) -> Dict[str, List[Job]]:
     """The full attack evaluation as named job groups.
 
-    Keys (in display order): ``table1``, ``table2``, ``keyextract``,
-    ``bti``, ``jumptable``, ``lfence``.  The Table I group reuses the
-    ``covert.table1_row`` jobs from :mod:`repro.harness.experiments`,
-    so its cache keys are shared with ``batch covert``.
+    Keys (in display order): ``table1``, ``contention``, ``table2``,
+    ``keyextract``, ``bti``, ``jumptable``, ``lfence``.  The Table I
+    group reuses the ``covert.table1_row`` jobs from
+    :mod:`repro.harness.experiments`, so its cache keys are shared
+    with ``batch covert``; the ``contention`` group adds the two
+    non-DSB covert channels (iTLB, store buffer) from
+    :mod:`repro.contention.channels` as extra Table-I-format rows
+    through the same job function.
     """
+    from repro.core.report import CONTENTION_MODES
     from repro.harness.experiments import table1_jobs
+    from repro.harness.sweep import Sweep
 
     skl = config or CPUConfig.skylake()
     return {
         "table1": table1_jobs(payload, noise_seed, config=skl),
+        "contention": Sweep(
+            "covert.table1_row",
+            axes={"mode": list(CONTENTION_MODES)},
+            base={"payload_hex": payload.hex()},
+            config=skl,
+            seed=noise_seed,
+            tag="contention",
+        ).jobs(),
         "table2": table2_jobs(secret, config=skl),
         "keyextract": keyextract_jobs(keys, nbits),
         "bti": [Job("attacks.bti", config=skl,
@@ -275,7 +289,7 @@ def run_attacks(
     results: Dict[str, List[Any]] = {}
     for name, (start, stop) in spans.items():
         rows = [outcomes[i].result for i in range(start, stop)]
-        if name == "table1":
+        if name in ("table1", "contention"):
             rows = [Table1Row(**row) for row in rows]
         elif name == "table2":
             rows = [

@@ -417,4 +417,4 @@ def run_workloads(
 # synthetic jobs ride along for the same reason: the serve worker tier
 # and the load benchmarks resolve them inside fresh processes.
 
-from repro.harness import attacks, debugfns  # noqa: E402,F401  (registers)
+from repro.harness import attacks, contention, debugfns  # noqa: E402,F401  (registers)

@@ -39,6 +39,17 @@ from repro.lint.gadgets import (
     verify_claims,
     verify_pair,
 )
+from repro.lint.resources import (
+    ITLBClaim,
+    ResourceCheckResult,
+    ResourcePairClaim,
+    StoreClaim,
+    cross_check_itlb,
+    cross_check_stores,
+    static_pages,
+    static_store_sites,
+    verify_resource_claims,
+)
 from repro.lint.rules import check_program, check_sources
 
 __all__ = [
@@ -49,16 +60,24 @@ __all__ = [
     "Diagnostic",
     "FillDiff",
     "FootprintReport",
+    "ITLBClaim",
     "LintError",
     "PairClaim",
     "RegionFootprint",
+    "ResourceCheckResult",
+    "ResourcePairClaim",
     "Severity",
+    "StoreClaim",
     "analyze",
     "check_program",
     "check_sources",
     "cross_check",
+    "cross_check_itlb",
+    "cross_check_stores",
     "errors_of",
     "predicted_set",
+    "static_pages",
+    "static_store_sites",
     "verify_chain",
     "verify_claims",
     "verify_pair",

@@ -126,6 +126,43 @@ CATALOG: Dict[str, CatalogEntry] = {
             "did not predict; the placement logic and the analyzer "
             "have drifted apart",
         ),
+        CatalogEntry(
+            "RC001", "itlb-footprint-mismatch", Severity.ERROR,
+            "the code pages statically reachable from the claimed "
+            "entry differ from the claimed iTLB page set; the "
+            "contention pair will not press (or avoid) the iTLB the "
+            "way the experiment assumes -- fix the page list or the "
+            "region layout",
+        ),
+        CatalogEntry(
+            "RC002", "store-footprint-mismatch", Severity.ERROR,
+            "the number of static store sites reachable from the "
+            "claimed entry differs from the claimed count; the "
+            "store-buffer pressure the pair advertises is wrong -- "
+            "recount the stores (unrolled bodies and the probe's "
+            "result store all count)",
+        ),
+        CatalogEntry(
+            "RC003", "resource-pair-mismatch", Severity.ERROR,
+            "a claimed-conflict pair's combined footprint fits the "
+            "shared resource (no contention possible), or a "
+            "claimed-disjoint pair oversubscribes it; resize the "
+            "footprints or fix the capacity parameter",
+        ),
+        CatalogEntry(
+            "XC002", "itlb-model-divergence", Severity.ERROR,
+            "the live simulator filled iTLB pages the static claim "
+            "did not predict (or never touched claimed ones); the "
+            "page-reachability analysis and the fetch path have "
+            "drifted apart",
+        ),
+        CatalogEntry(
+            "XC003", "store-model-divergence", Severity.ERROR,
+            "the live simulator drained stores from sites the static "
+            "claim did not predict (or claimed sites never drained); "
+            "the store-site analysis and the backend have drifted "
+            "apart",
+        ),
     )
 }
 

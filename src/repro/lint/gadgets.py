@@ -289,12 +289,21 @@ def verify_claims(
     report: FootprintReport,
     chains: Sequence[ChainClaim],
     pairs: Sequence[PairClaim] = (),
+    resources: Sequence[object] = (),
 ) -> List[Diagnostic]:
-    """Run every chain and pair claim; the verifier entry point."""
+    """Run every chain, pair and per-resource claim; the verifier
+    entry point.  ``resources`` takes the contention suite's
+    :class:`~repro.lint.resources.ITLBClaim` /
+    :class:`~repro.lint.resources.StoreClaim` /
+    :class:`~repro.lint.resources.ResourcePairClaim` mix."""
     out: List[Diagnostic] = []
     by_name = {c.name: c for c in chains}
     for claim in chains:
         out.extend(verify_chain(report, claim))
     for pair in pairs:
         out.extend(verify_pair(report, by_name, pair))
+    if resources:
+        from repro.lint.resources import verify_resource_claims
+
+        out.extend(verify_resource_claims(report, resources))
     return out

@@ -35,12 +35,19 @@ class BuiltTarget:
     config: Optional[object] = None  # repro.cpu.config.CPUConfig
     chains: list = field(default_factory=list)
     pairs: list = field(default_factory=list)
+    #: per-resource claims (repro.lint.resources) -- iTLB page sets,
+    #: store-site counts and capacity-relation pairs
+    resources: list = field(default_factory=list)
     #: live core + zero-arg driver for the cross-check mode; targets
     #: without one are static-only
     core: Optional[object] = None
     drive: Optional[Callable[[], None]] = None
     #: source-scan targets have no program at all
     source_scan: bool = False
+    #: findings computed by the builder itself (multi-program targets
+    #: like ``contention-pairs``); the engine reports them verbatim
+    prechecked: Optional[List[Diagnostic]] = None
+    prechecked_regions: int = 0
 
 
 @contextmanager
@@ -64,12 +71,14 @@ def _no_preflight():
 
 def _from_session(name: str, session, drive=None) -> BuiltTarget:
     chains, pairs = session.lint_claims()
+    resources = getattr(session, "lint_resource_claims", lambda: [])()
     return BuiltTarget(
         name=name,
         program=session.program,
         config=session.config,
         chains=chains,
         pairs=pairs,
+        resources=resources,
         core=session.core if drive is not None else None,
         drive=drive,
     )
@@ -203,6 +212,47 @@ def _build_keyextract() -> BuiltTarget:
     return _from_session("keyextract", victim)
 
 
+def _build_contention_itlb() -> BuiltTarget:
+    from repro.contention.channels import ITLBChannel
+
+    with _no_preflight():
+        chan = ITLBChannel()
+    return _from_session("contention-itlb", chan)
+
+
+def _build_contention_sb() -> BuiltTarget:
+    from repro.contention.channels import StoreBufferChannel
+
+    with _no_preflight():
+        chan = StoreBufferChannel()
+    return _from_session("contention-sb", chan)
+
+
+def _build_contention_pairs() -> BuiltTarget:
+    """Lint one generated pair per claim-carrying resource.
+
+    Each pair is its own program, so the findings are computed here
+    (one analysis per pair) and handed to the engine pre-checked.
+    """
+    from repro.contention.templates import generate_pair
+
+    findings: List[Diagnostic] = []
+    regions = 0
+    for resource in ("uop_cache", "itlb", "store_buffer", "btb"):
+        for variant in ("conflict", "disjoint"):
+            gen = generate_pair(resource, variant=variant)
+            report = analyze(gen.program, gen.config)
+            regions += len(report.regions)
+            findings.extend(check_program(report))
+            findings.extend(
+                verify_claims(report, gen.chains, gen.pairs, gen.resources)
+            )
+    target = BuiltTarget(name="contention-pairs")
+    target.prechecked = findings
+    target.prechecked_regions = regions
+    return target
+
+
 def _build_corpus() -> BuiltTarget:
     from repro.core.gadgets import generate_corpus
     from repro.cpu.config import CPUConfig
@@ -230,6 +280,9 @@ TARGETS: Dict[str, Callable[[], BuiltTarget]] = {
     "bti": _build_bti,
     "jumptable": _build_jumptable,
     "keyextract": _build_keyextract,
+    "contention-itlb": _build_contention_itlb,
+    "contention-sb": _build_contention_sb,
+    "contention-pairs": _build_contention_pairs,
     "corpus": _build_corpus,
     "sources": _build_sources,
 }
@@ -346,12 +399,17 @@ def lint_target(
         target = builder()
         if target.source_scan:
             result.diagnostics = check_sources()
+        elif target.prechecked is not None:
+            result.diagnostics = list(target.prechecked)
+            result.regions = target.prechecked_regions
         else:
             report = analyze(target.program, target.config)
             result.regions = len(report.regions)
             result.diagnostics = check_program(report)
             result.diagnostics.extend(
-                verify_claims(report, target.chains, target.pairs)
+                verify_claims(
+                    report, target.chains, target.pairs, target.resources
+                )
             )
             if cross and target.drive is not None:
                 result.crosscheck = cross_check(

@@ -44,6 +44,9 @@ class MemoryHierarchy:
         dram_latency: int = 200,
         on_l1i_evict: Optional[Callable[[int], None]] = None,
         itlb_on_flush: Optional[Callable[[], None]] = None,
+        itlb_entries: int = 128,
+        itlb_walk_latency: int = 30,
+        dtlb: Optional[TLB] = None,
     ):
         self.l1i = Cache("L1I", sets=64, ways=8, latency=l1_latency,
                          on_evict=on_l1i_evict)
@@ -52,7 +55,11 @@ class MemoryHierarchy:
         self.llc = Cache("LLC", sets=8192, ways=16, latency=llc_latency,
                          on_evict=self._back_invalidate)
         self.dram_latency = dram_latency
-        self.itlb = TLB(on_flush=itlb_on_flush)
+        self.itlb = TLB(entries=itlb_entries, walk_latency=itlb_walk_latency,
+                        on_flush=itlb_on_flush)
+        #: Optional data-side TLB (``None`` keeps the historical
+        #: dTLB-less data path and its calibrations untouched).
+        self.dtlb = dtlb
 
     def _back_invalidate(self, line_base: int) -> None:
         # Inclusive LLC: a victim leaving the LLC leaves the L1s/L2 too.
@@ -76,8 +83,15 @@ class MemoryHierarchy:
         return AccessResult(self.dram_latency, "DRAM")
 
     def access_data(self, addr: int) -> AccessResult:
-        """Load/store reference through L1D."""
-        return self._access(self.l1d, addr)
+        """Load/store reference through L1D (adds dTLB latency when a
+        data TLB is modelled)."""
+        if self.dtlb is None:
+            return self._access(self.l1d, addr)
+        extra = self.dtlb.access(addr)
+        result = self._access(self.l1d, addr)
+        if extra:
+            return AccessResult(result.latency + extra, result.level)
+        return result
 
     def access_inst(self, addr: int) -> AccessResult:
         """Instruction fetch reference through L1I (adds iTLB latency)."""
@@ -106,6 +120,8 @@ class MemoryHierarchy:
         self.l2.reset()
         self.llc.reset()
         self.itlb.reset()
+        if self.dtlb is not None:
+            self.dtlb.reset()
 
     def probe_data_latency(self, addr: int) -> int:
         """Latency a data access *would* see, without perturbing state.

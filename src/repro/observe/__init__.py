@@ -22,6 +22,8 @@ from .events import (
     DSB_FILL,
     DSB_FLUSH,
     FETCH_BLOCK,
+    ITLB_FILL,
+    SB_DRAIN,
     SQUASH,
     STORE_COMMIT,
     Event,
@@ -41,6 +43,8 @@ __all__ = [
     "DSB_FILL",
     "DSB_FLUSH",
     "FETCH_BLOCK",
+    "ITLB_FILL",
+    "SB_DRAIN",
     "SQUASH",
     "STORE_COMMIT",
     "Event",

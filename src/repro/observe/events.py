@@ -31,6 +31,10 @@ Event kinds:
 ``branch_resolve``        a branch's functional outcome vs its prediction
 ``squash``                a pending misprediction fired: wrong path rolled back
 ``store_commit``          a store buffer entry drained to memory
+``itlb_fill``             an instruction fetch missed the iTLB and walked a
+                          new page translation in (entry, page)
+``sb_drain``              a store entered the store-buffer drain pipeline
+                          (pc, addr, occupancy, stall cycles)
 ========================  =====================================================
 """
 
@@ -48,16 +52,20 @@ BRANCH_PREDICT = "branch_predict"
 BRANCH_RESOLVE = "branch_resolve"
 SQUASH = "squash"
 STORE_COMMIT = "store_commit"
+ITLB_FILL = "itlb_fill"
+SB_DRAIN = "sb_drain"
 
 #: Every kind the simulator emits, in rough pipeline order.
 ALL_KINDS: Tuple[str, ...] = (
     FETCH_BLOCK,
+    ITLB_FILL,
     DSB_FILL,
     DSB_EVICT,
     DSB_FLUSH,
     BRANCH_PREDICT,
     BRANCH_RESOLVE,
     SQUASH,
+    SB_DRAIN,
     STORE_COMMIT,
 )
 

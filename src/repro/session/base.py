@@ -115,6 +115,14 @@ class AttackSession:
             getattr(self, "_lint_pairs", []),
         )
 
+    def lint_resource_claims(self) -> list:
+        """Per-resource claims (iTLB pages, store sites) the driver
+        makes about its layout; see :mod:`repro.lint.resources`.
+        Drivers populate ``self._lint_resources`` in
+        :meth:`build_program`; override for computed claims.
+        """
+        return getattr(self, "_lint_resources", [])
+
     # ------------------------------------------------------------------
     # preflight
 
@@ -135,8 +143,11 @@ class AttackSession:
 
         report = analyze(self.program, self.config)
         chains, pairs = self.lint_claims()
+        resources = self.lint_resource_claims()
         self.lint_findings = check_program(report)
-        self.lint_findings.extend(verify_claims(report, chains, pairs))
+        self.lint_findings.extend(
+            verify_claims(report, chains, pairs, resources)
+        )
         errors = errors_of(self.lint_findings)
         if errors:
             raise LintError(errors)

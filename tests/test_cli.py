@@ -106,14 +106,14 @@ def test_batch_attacks_cold_then_warm(tmp_path, capsys):
     args = ["batch", "attacks", "--fast", "--cache-dir", cache_dir]
     assert main(args) == 0
     out = capsys.readouterr().out
-    assert "12 executed, 0 from cache" in out
+    assert "14 executed, 0 from cache" in out
     assert "Spectre (uop cache)" in out
     assert "key extraction: 1/1 exact" in out
     assert "fence signal" in out
 
     # Warm re-run: the whole evaluation without one simulation.
     assert main(args) == 0
-    assert "0 executed, 12 from cache" in capsys.readouterr().out
+    assert "0 executed, 14 from cache" in capsys.readouterr().out
 
 
 def test_profile_command(capsys):

@@ -23,12 +23,17 @@ from repro.isa.asmparse import AsmParseError, parse_listing, signature
 from repro.isa.disasm import disassemble
 
 
-#: Every shipped program the lint runner knows how to build ("sources"
-#: is an AST scan with no program).
+#: Every shipped program the lint runner knows how to build.
+#: "sources" is an AST scan with no program; "contention-pairs" is a
+#: multi-program prechecked target -- its constituent pairs round-trip
+#: in test_generated_contention_pair_roundtrips below.
 def _program_targets():
     from repro.lint.runner import TARGETS
 
-    return [name for name in TARGETS if name != "sources"]
+    return [
+        name for name in TARGETS
+        if name not in ("sources", "contention-pairs")
+    ]
 
 
 _BUILT = {}
@@ -54,6 +59,23 @@ def test_shipped_program_reassembles_identically(name):
 def test_shipped_listing_is_a_fixed_point(name):
     listing = disassemble(_program(name))
     assert disassemble(parse_listing(listing)) == listing
+
+
+def _contention_pairs():
+    from repro.contention.templates import RESOURCES
+
+    return [(r, v) for r in RESOURCES for v in ("conflict", "disjoint")]
+
+
+@pytest.mark.parametrize("resource,variant", _contention_pairs())
+def test_generated_contention_pair_roundtrips(resource, variant):
+    from repro.contention.templates import generate_pair
+
+    program = generate_pair(resource, variant=variant).program
+    listing = disassemble(program)
+    rebuilt = parse_listing(listing)
+    assert signature(rebuilt) == signature(program)
+    assert disassemble(rebuilt) == listing
 
 
 def _kitchen_sink():

@@ -48,9 +48,11 @@ class TestRegistration:
     def test_attack_jobs_groups(self):
         groups = attack_jobs(secret=SECRET)
         assert list(groups) == [
-            "table1", "table2", "keyextract", "bti", "jumptable", "lfence",
+            "table1", "contention", "table2", "keyextract", "bti",
+            "jumptable", "lfence",
         ]
         assert len(groups["table1"]) == 4
+        assert len(groups["contention"]) == 2
         assert len(groups["table2"]) == 2
         assert len(groups["lfence"]) == 3
 

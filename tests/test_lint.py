@@ -40,14 +40,14 @@ class TestCatalog:
     def test_codes_are_namespaced_and_unique(self):
         for code, entry in CATALOG.items():
             assert code == entry.code
-            assert code[:2] in ("UC", "DT", "XC")
+            assert code[:2] in ("UC", "DT", "XC", "RC")
 
     def test_documented_rule_set_is_stable(self):
         """The codes are public API: removing one is a breaking change."""
         expected = {
             "UC001", "UC002", "UC003", "UC004", "UC005", "UC006",
             "UC007", "UC008", "UC009", "UC010", "DT001", "DT002",
-            "XC001",
+            "XC001", "XC002", "XC003", "RC001", "RC002", "RC003",
         }
         assert expected <= set(CATALOG)
 
