@@ -1,0 +1,111 @@
+"""Stepping-engine speed suite, emitted as a tracked JSON artifact.
+
+``BENCH_speed.json`` (next to this file) is committed to the
+repository so the simulation-speed trajectory is visible across PRs.
+It records cold (construct + first trial, which *records* under
+replay) and warm (steady-state reset-loop) trial throughput for both
+stepping backends on the covert-channel receiver workload, plus the
+warm replay-over-reference speedup.  The CI ``speed-smoke`` job runs
+this file and fails when warm replay drops below **5x** warm
+reference -- a deliberately loose floor (the local target asserted in
+``test_session_throughput.py`` is 10x) so CI machine jitter does not
+flake the gate.  Regenerate with
+``pytest benchmarks/test_speed_bench.py --benchmark-only -s``.
+
+Timings are rounded coarsely in the artifact: unlike the simulator's
+deterministic cycle counts, host seconds vary run to run, and the
+file should churn only when the physics of the engines changes
+materially.
+"""
+
+import json
+import pathlib
+import time
+
+from benchmarks.conftest import banner, run_once
+from repro.core.covert import ChannelParams, CovertChannel
+from repro.cpu.config import CPUConfig
+
+ARTIFACT = pathlib.Path(__file__).with_name("BENCH_speed.json")
+
+WARM_TRIALS = 60
+
+#: CI floor for warm replay-over-reference speedup.
+MIN_SPEEDUP = 5.0
+
+
+def _trial(chan: CovertChannel) -> int:
+    """One receiver episode: prime, then the timed probe pass."""
+    chan._prime()
+    return chan._probe_time()
+
+
+def _measure(engine: str) -> dict:
+    """Cold + warm throughput for one stepping backend."""
+    start = time.monotonic()
+    chan = CovertChannel(
+        ChannelParams(), config=CPUConfig.skylake(engine=engine)
+    )
+    first = _trial(chan)
+    cold_seconds = time.monotonic() - start
+
+    start = time.monotonic()
+    results = []
+    for _ in range(WARM_TRIALS):
+        chan.reset()
+        results.append(_trial(chan))
+    warm_seconds = time.monotonic() - start
+
+    # Warm trials replay the recorded first trial bit-identically.
+    assert all(r == first for r in results), engine
+    return {
+        "cold_seconds": cold_seconds,
+        "warm_trials_per_sec": WARM_TRIALS / warm_seconds,
+        "results": results,
+        "stats": chan.core.engine_stats(),
+    }
+
+
+def test_speed_artifact(benchmark):
+    reference = _measure("reference")
+    replay = run_once(benchmark, lambda: _measure("replay"))
+
+    assert replay["results"] == reference["results"]
+    assert replay["stats"]["replayed"] > 0
+    assert replay["stats"]["bailouts"] == 0
+
+    speedup = (replay["warm_trials_per_sec"]
+               / reference["warm_trials_per_sec"])
+    banner("Engine speed -- covert receiver loop, cold + warm")
+    for name, m in (("reference", reference), ("replay", replay)):
+        print(f"  {name:<10} cold {m['cold_seconds']:6.2f}s   "
+              f"warm {m['warm_trials_per_sec']:9.1f} trials/s")
+    print(f"  warm speedup: {speedup:.1f}x  (CI floor {MIN_SPEEDUP:.0f}x)")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm replay throughput fell below {MIN_SPEEDUP:.0f}x warm "
+        f"reference (got {speedup:.1f}x)"
+    )
+
+    doc = {
+        "workload": f"covert receiver loop, {WARM_TRIALS} warm trials",
+        "reference": {
+            "cold_seconds": round(reference["cold_seconds"], 2),
+            "warm_trials_per_sec": round(
+                reference["warm_trials_per_sec"], -1),
+        },
+        "replay": {
+            "cold_seconds": round(replay["cold_seconds"], 2),
+            "warm_trials_per_sec": round(
+                replay["warm_trials_per_sec"], -3),
+        },
+        "warm_speedup": round(speedup, -1),
+        "min_speedup": MIN_SPEEDUP,
+    }
+    ARTIFACT.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {ARTIFACT}")
+
+    benchmark.extra_info["warm_speedup"] = speedup
+    benchmark.extra_info["replay_warm_trials_per_sec"] = (
+        replay["warm_trials_per_sec"]
+    )

@@ -39,6 +39,7 @@ Serving (``repro.serve``):
 from __future__ import annotations
 
 import argparse
+import time
 from typing import List, Optional
 
 
@@ -355,45 +356,66 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 # Profiler
 
 
-def _profile_covert() -> None:
+def _profile_covert(engine: str) -> None:
     from repro.core.covert import ChannelParams, CovertChannel
+    from repro.cpu.config import CPUConfig
 
-    CovertChannel(ChannelParams()).transmit(b"uop")
+    # Reset-loop shape (warm, then repeat trials) so the replay engine
+    # has recorded segments to replay -- a single cold transmit would
+    # only ever record.
+    channel = CovertChannel(
+        ChannelParams(), config=CPUConfig.skylake(engine=engine)
+    )
+    channel.transmit(b"uop")
+    for _ in range(3):
+        channel.reset()
+        channel.transmit(b"uop")
 
 
-def _profile_spectre() -> None:
+def _profile_spectre(engine: str) -> None:
     from repro.core.transient import UopCacheSpectreV1
+    from repro.cpu.config import CPUConfig
 
-    UopCacheSpectreV1(secret=b"\xa5\x3c").leak()
+    UopCacheSpectreV1(
+        secret=b"\xa5\x3c", config=CPUConfig.skylake(engine=engine)
+    ).leak()
 
 
-def _profile_classic() -> None:
+def _profile_classic(engine: str) -> None:
     from repro.core.transient import ClassicSpectreV1
+    from repro.cpu.config import CPUConfig
 
-    ClassicSpectreV1(secret=b"\xa5\x3c").leak()
+    ClassicSpectreV1(
+        secret=b"\xa5\x3c", config=CPUConfig.skylake(engine=engine)
+    ).leak()
 
 
-def _profile_smt() -> None:
+def _profile_smt(engine: str) -> None:
     from repro.core.smtchannel import SMTChannel, SMTChannelParams
+    from repro.cpu.config import CPUConfig
 
-    SMTChannel(SMTChannelParams()).transmit(b"u")
+    SMTChannel(
+        SMTChannelParams(), config=CPUConfig.zen(engine=engine)
+    ).transmit(b"u")
 
 
-def _profile_keyextract() -> None:
+def _profile_keyextract(engine: str) -> None:
     from repro.core.keyextract import KeyExtractor
+    from repro.cpu.config import CPUConfig
 
-    KeyExtractor(nbits=8).extract(0xB5)
+    KeyExtractor(nbits=8, config=CPUConfig.zen(engine=engine)).extract(0xB5)
 
 
-def _profile_characterize() -> None:
+def _profile_characterize(engine: str) -> None:
     from repro.core.characterize import size_point
     from repro.cpu.config import CPUConfig
 
-    size_point(CPUConfig.skylake(), 64, 8)
+    size_point(CPUConfig.skylake(engine=engine), 64, 8)
 
 
 #: Small named workloads for ``repro profile`` (seconds, not minutes;
-#: each is the hot loop of the matching full command).
+#: each is the hot loop of the matching full command).  Each takes the
+#: stepping-backend name and builds its config with it.
 _PROFILE_TARGETS = {
     "covert": _profile_covert,
     "spectre": _profile_spectre,
@@ -408,14 +430,35 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
 
+    from repro.cpu.profiling import PhaseTimer
+
     target = _PROFILE_TARGETS[args.experiment]
+
+    # Pass 1: per-phase wall clock (pipeline terms), without cProfile's
+    # tracing overhead skewing the split.
+    with PhaseTimer() as timer:
+        t0 = time.perf_counter()
+        target(args.engine)
+        wall = time.perf_counter() - t0
+    print(f"profile: {args.experiment} (engine={args.engine})")
+    print(f"phase breakdown (cumulative seconds, {wall:.3f}s wall):")
+    for phase, seconds, share in timer.report():
+        calls = timer.calls[phase]
+        print(f"  {phase:<8} {seconds:8.3f}s  {share:6.1%}  "
+              f"({calls} calls)")
+    other = wall - timer.total
+    print(f"  {'other':<8} {other:8.3f}s  "
+          f"{(other / wall if wall else 0.0):6.1%}  "
+          "(assembly, calibration glue, classifier)")
+
+    # Pass 2: the classic cProfile view.
     prof = cProfile.Profile()
     prof.enable()
-    target()
+    target(args.engine)
     prof.disable()
     stats = pstats.Stats(prof)
     stats.sort_stats("cumulative")
-    print(f"profile: {args.experiment} (top {args.top} by cumulative time)")
+    print(f"top {args.top} functions by cumulative time:")
     stats.print_stats(args.top)
     return 0
 
@@ -759,6 +802,9 @@ def main(argv=None) -> int:
     p.add_argument("experiment", choices=sorted(_PROFILE_TARGETS))
     p.add_argument("--top", type=int, default=20, metavar="N",
                    help="rows of the report (default 20)")
+    p.add_argument("--engine", choices=("reference", "replay"),
+                   default="reference",
+                   help="stepping backend to profile (default reference)")
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(

@@ -89,7 +89,7 @@ def _alu(op: str, a: int, b: int) -> int:
     raise ValueError(f"unknown ALU op {op!r}")
 
 
-@dataclass
+@dataclass(slots=True)
 class ResolveInfo:
     """Outcome of a control-flow micro-op, produced at execution."""
 
@@ -101,6 +101,10 @@ class ResolveInfo:
 
 class Backend:
     """Executes micro-ops for all threads of one core."""
+
+    __slots__ = ("config", "memory", "hierarchy", "rdtsc_jitter",
+                 "store_buffers", "observer", "_sb_commits",
+                 "_sb_port_free")
 
     def __init__(
         self,
@@ -220,13 +224,14 @@ class Backend:
         """
         uop = du.uop
         regs = thread.regs
+        reg_ready = thread.reg_ready
         sbuf = self.store_buffers[thread.thread_id]
         counters = thread.counters
 
         dispatch = self._dispatch(du, thread)
         ready = dispatch
         for reg in uop.reads():
-            t = thread.reg_ready.get(reg, 0)
+            t = reg_ready.get(reg, 0)
             if t > ready:
                 ready = t
         start = max(ready, thread.exec_floor)
@@ -358,7 +363,7 @@ class Backend:
         du.exec_start = start
         du.exec_done = done
         for reg in uop.writes():
-            thread.reg_ready[reg] = done
+            reg_ready[reg] = done
         if done > thread.oldest_inflight_done:
             thread.oldest_inflight_done = done
         if kind in (UopKind.LFENCE, UopKind.MFENCE):

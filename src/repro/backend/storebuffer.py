@@ -25,6 +25,8 @@ class _Entry:
 class StoreBuffer:
     """Ordered pending stores for one hardware thread."""
 
+    __slots__ = ("_entries",)
+
     def __init__(self) -> None:
         self._entries: List[_Entry] = []
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.backend.execute import Backend, ResolveInfo
 from repro.cpu.config import CPUConfig
 from repro.cpu.counters import PerfCounters
+from repro.cpu.engine import KEEP_NOISE, make_engine
 from repro.cpu.noise import NoiseModel
 from repro.cpu.thread import KERNEL_PRIV, ThreadContext, USER_PRIV
 from repro.errors import SimFault
@@ -55,7 +56,8 @@ from repro.uopcache.policies import make_policy
 
 
 #: Sentinel for ``Core.reset(noise=...)``: "keep the current model".
-_KEEP_NOISE = object()
+#: (Shared with the engine layer, which re-resets cores internally.)
+_KEEP_NOISE = KEEP_NOISE
 
 
 @dataclass(slots=True)
@@ -112,10 +114,19 @@ class Core:
         config: CPUConfig,
         program: Program,
         noise: Optional[NoiseModel] = None,
+        engine: Optional[str] = None,
+        fast: bool = True,
     ):
         self.config = config
         self.program = program
         self.noise = noise
+        #: ``fast`` hoists the observer/noise lookups out of the
+        #: per-block stepping loop, eliding every event-bus site when
+        #: no observer is attached.  The one behavioural difference:
+        #: an event subscriber that attaches an observer or swaps the
+        #: noise model *mid-call* only takes effect at the next call
+        #: boundary.  ``fast=False`` restores per-block re-sampling.
+        self.fast = fast
 
         policy = make_policy(config.uop_cache_policy)
         self.uop_cache = UopCache(
@@ -167,6 +178,10 @@ class Core:
         # ``trace`` property).
         self._trace: Optional[list] = None
         self._trace_sub = None
+        #: The stepping backend (see :mod:`repro.cpu.engine`): the
+        #: explicit ``engine=`` argument wins, else ``config.engine``.
+        self.engine_name = engine if engine is not None else config.engine
+        self.engine = make_engine(self.engine_name, self)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -189,7 +204,17 @@ class Core:
 
         The ``trace`` hook and any :meth:`observe` subscribers are
         debugging aids, not simulation state, and are left alone.
+
+        Delegated to the engine: the replay backend turns a reset after
+        a purely-replayed epoch into a cheap *soft* reset (re-image
+        memory, re-zero thread state) because the real
+        microarchitecture was never touched.
         """
+        self.engine.reset(noise)
+
+    def _hard_reset(self, noise=_KEEP_NOISE) -> None:
+        """The full post-construction restore (every engine's
+        reference semantics; see :meth:`reset`)."""
         if noise is not _KEEP_NOISE:
             self.noise = noise
         if self.noise is not None:
@@ -212,6 +237,29 @@ class Core:
         )
         self._spec = (_SpecState(), _SpecState())
 
+    def _reset_spec(self) -> None:
+        """Fresh speculation bookkeeping (engine soft-reset helper)."""
+        self._spec = (_SpecState(), _SpecState())
+
+    def materialize(self) -> None:
+        """Make the real microarchitectural state current.
+
+        Under the replay engine, micro-op cache / hierarchy / predictor
+        state goes stale while calls are replayed from memoized
+        segments; call this before inspecting those structures directly
+        (e.g. :class:`repro.observe.OccupancySnapshot`).  Free on the
+        reference engine, and on architectural accessors
+        (``read_mem``/``read_reg``/``counters``/``cycles``), which stay
+        exact under replay.
+        """
+        self.engine.materialize()
+
+    def engine_stats(self) -> dict:
+        """Backend telemetry (replay hit/record/bailout counts)."""
+        stats = {"engine": self.engine_name}
+        stats.update(self.engine.stats())
+        return stats
+
     # ------------------------------------------------------------------
     # wiring
 
@@ -231,7 +279,12 @@ class Core:
         sites to it; until then (``self.observer is None``) every hook
         is a single attribute check, so unobserved cores pay nothing.
         See :mod:`repro.observe` for the consumers.
+
+        Observation is an invalidation event for the replay engine:
+        replayed segments emit no events, so the engine materializes
+        real state and runs this epoch on the reference loop.
         """
+        self.engine.observe_attached()
         if self.observer is None:
             bus = EventBus()
             self.observer = bus
@@ -288,9 +341,8 @@ class Core:
 
         self._trace_sub = self.observe().subscribe(_collect, (FETCH_BLOCK,))
 
-    def _commit_hook(self, thread: ThreadContext):
+    def _commit_hook(self, thread: ThreadContext, obs: Optional[EventBus]):
         """Store-commit callback for the drain sites (None when idle)."""
-        obs = self.observer
         if obs is None or not obs.wants(STORE_COMMIT):
             return None
 
@@ -311,7 +363,15 @@ class Core:
     # public conveniences
 
     def thread(self, thread_id: int = 0) -> ThreadContext:
-        """Hardware-thread context."""
+        """Hardware-thread context.
+
+        This hands back mutable state the engine's operation ledger
+        cannot see (predictor tables, scoreboard fields), so the replay
+        engine materializes and stops memoizing for the epoch.  Use
+        :meth:`counters` / :meth:`read_reg` / :meth:`cycles` for the
+        common reads -- those stay on the fast path.
+        """
+        self.engine.thread_accessed()
         return self.threads[thread_id]
 
     def counters(self, thread_id: int = 0) -> PerfCounters:
@@ -319,8 +379,9 @@ class Core:
         return self.threads[thread_id].counters
 
     def write_reg(self, name: str, value: int, thread_id: int = 0) -> None:
-        """Set an architectural register."""
-        self.threads[thread_id].regs[name] = value & ((1 << 64) - 1)
+        """Set an architectural register (a ledger operation: the
+        replay engine journals it as part of the epoch's path)."""
+        self.engine.write_reg(name, value, thread_id)
 
     def read_reg(self, name: str, thread_id: int = 0) -> int:
         """Read an architectural register."""
@@ -331,16 +392,18 @@ class Core:
         return self.memory.read(addr, size)
 
     def write_mem(self, addr: int, value: int, size: int = 8) -> None:
-        """Write memory directly (harness-side setup)."""
-        self.memory.write(addr, value, size)
+        """Write memory directly (harness-side setup; journaled)."""
+        self.engine.write_mem(addr, value, size)
 
     def addr_of(self, label: str) -> int:
         """Address of a program label."""
         return self.program.addr_of(label)
 
     def flush_uop_cache(self) -> None:
-        """Architecturally flush the micro-op cache (iTLB-flush path)."""
-        self.uop_cache.flush()
+        """Architecturally flush the micro-op cache (iTLB-flush path;
+        journaled -- under replay a flush in a virtual epoch is applied
+        at its journal position on materialize)."""
+        self.engine.flush_uop_cache()
 
     def cycles(self, thread_id: int = 0) -> int:
         """Current cycle count of a thread (fetch/retire max)."""
@@ -363,34 +426,15 @@ class Core:
         Microarchitectural state (caches, predictors, micro-op cache)
         persists across calls -- phases of an attack are separate
         calls.  Returns the counter delta for this call.
+
+        Delegated to the engine: the reference backend interprets the
+        blocks; the replay backend returns memoized effects when this
+        exact call has been seen on this exact operation path before.
         """
-        thread = self.threads[thread_id]
         if isinstance(entry, str):
             entry = self.program.addr_of(entry)
-        if regs:
-            for name, value in regs.items():
-                thread.regs[name] = value & ((1 << 64) - 1)
-        if reset_clocks:
-            thread.reset_pipeline_clocks()
-            # The store-drain schedule lives in the same clock domain
-            # as the pipeline clocks; rebasing one without the other
-            # would leave phantom in-flight commits from the last call.
-            self.backend.reset_store_timing()
-        thread.fetch_rip = entry
-        thread.fetch_priv = thread.privilege
-        thread.halted = False
-        before = thread.counters.snapshot()
-        limit = max_blocks if max_blocks is not None else self.MAX_BLOCKS
-        blocks = 0
-        while not thread.halted:
-            blocks += 1
-            if blocks > limit:
-                raise SimFault(
-                    f"thread {thread_id} exceeded {limit} fetch blocks "
-                    f"(runaway program?) at rip=0x{thread.fetch_rip:x}"
-                )
-            self._step(thread)
-        return thread.counters.delta(before)
+        return self.engine.call(entry, thread_id, regs, reset_clocks,
+                                max_blocks)
 
     def run_smt(
         self,
@@ -406,62 +450,43 @@ class Core:
         approximation of SMT front-end arbitration.  The micro-op
         cache switches into SMT mode (repartitioning under the static
         policy) for the duration.
+
+        SMT interleaving is an invalidation event for the replay
+        engine: it bails to the reference loop for the epoch.
         """
-        resolved = []
-        for entry in entries:
-            resolved.append(
-                self.program.addr_of(entry) if isinstance(entry, str) else entry
-            )
-        self.uop_cache.set_smt_active(True)
-        self.frontend.smt_active = True
-        if reset_clocks:
-            self.backend.reset_store_timing()
-        befores = []
-        for tid in (0, 1):
-            thread = self.threads[tid]
-            if regs[tid]:
-                for name, value in regs[tid].items():
-                    thread.regs[name] = value & ((1 << 64) - 1)
-            if reset_clocks:
-                thread.reset_pipeline_clocks()
-            thread.fetch_rip = resolved[tid]
-            thread.fetch_priv = thread.privilege
-            thread.halted = False
-            befores.append(thread.counters.snapshot())
-        limit = max_blocks if max_blocks is not None else self.MAX_BLOCKS
-        blocks = 0
-        while not (self.threads[0].halted and self.threads[1].halted):
-            blocks += 1
-            if blocks > limit:
-                raise SimFault(f"SMT run exceeded {limit} fetch blocks")
-            active = [t for t in self.threads if not t.halted]
-            thread = min(active, key=lambda t: t.fetch_clock)
-            self._step(thread)
-        self.frontend.smt_active = False
-        self.uop_cache.set_smt_active(False)
-        return (
-            self.threads[0].counters.delta(befores[0]),
-            self.threads[1].counters.delta(befores[1]),
+        resolved = tuple(
+            self.program.addr_of(entry) if isinstance(entry, str) else entry
+            for entry in entries
         )
+        return self.engine.run_smt(resolved, regs, reset_clocks, max_blocks)
 
     # ------------------------------------------------------------------
     # the pipeline step
 
-    def _step(self, thread: ThreadContext) -> None:
-        """Fetch, execute and resolve one block for ``thread``."""
+    def _step(
+        self,
+        thread: ThreadContext,
+        obs: Optional[EventBus],
+        noise: Optional[NoiseModel],
+    ) -> None:
+        """Fetch, execute and resolve one block for ``thread``.
+
+        ``obs``/``noise`` are passed in by the engine loop -- hoisted
+        once per call in ``fast`` mode, re-sampled per block otherwise
+        -- so the hot path pays no attribute lookups for them.
+        """
         spec = self._spec[thread.thread_id]
-        self._sweep(thread, spec)
+        self._sweep(thread, spec, obs)
         if thread.halted:
             return
 
-        obs = self.observer
         if obs is not None:
             # Attribution hints for clockless components (uop cache).
             self.uop_cache.obs_cycle = thread.fetch_clock
             self.uop_cache.obs_thread = thread.thread_id
 
-        if self.noise is not None:
-            self.noise.maybe_evict(self.uop_cache)
+        if noise is not None:
+            noise.maybe_evict(self.uop_cache)
 
         block = self.frontend.fetch_block(thread)
         if obs is not None and obs.wants(FETCH_BLOCK):
@@ -512,7 +537,7 @@ class Core:
             elif du.uop.kind is UopKind.CPUID:
                 cpuid_done = du.exec_done
             if resolve is not None:
-                self._handle_resolution(thread, spec, du, resolve)
+                self._handle_resolution(thread, spec, du, resolve, obs)
                 if du.pred is not None and du.pred.target is None and not du.squashed:
                     stall_resolve = resolve
 
@@ -526,7 +551,7 @@ class Core:
                 if spec.pending:
                     # The stalled indirect is itself transient: wait for
                     # the older squash to resteer fetch.
-                    self._wait_for_resolution(thread, spec)
+                    self._wait_for_resolution(thread, spec, obs)
                     return
                 raise SimFault(
                     f"indirect branch at 0x{block.entry:x} never resolved"
@@ -546,15 +571,15 @@ class Core:
                 )
             thread.fetch_clock = max(thread.fetch_clock, stall_until)
             thread.fetch_rip = block.next_rip  # type: ignore[assignment]
-            self._sweep(thread, spec)
+            self._sweep(thread, spec, obs)
         elif block.kind == BLOCK_HALT:
             if spec.pending:
-                self._wait_for_resolution(thread, spec)
+                self._wait_for_resolution(thread, spec, obs)
             else:
                 thread.halted = True
                 self.backend.store_buffer(thread.thread_id).drain_all(
                     self.memory,
-                    self._commit_hook(thread) if self.observer is not None else None,
+                    self._commit_hook(thread, obs) if obs is not None else None,
                 )
                 spec.head_seqs.clear()
                 return
@@ -562,7 +587,7 @@ class Core:
             if spec.pending:
                 # Transient wild fetch / privilege violation: hardware
                 # just stalls fetch until the squash redirects it.
-                self._wait_for_resolution(thread, spec)
+                self._wait_for_resolution(thread, spec, obs)
             else:
                 raise SimFault(
                     f"wild fetch at 0x{thread.fetch_rip:x} "
@@ -580,7 +605,7 @@ class Core:
             thread.halted = True
             self.backend.store_buffer(thread.thread_id).drain_all(
                 self.memory,
-                self._commit_hook(thread) if self.observer is not None else None,
+                self._commit_hook(thread, obs) if obs is not None else None,
             )
             spec.head_seqs.clear()
             return
@@ -596,7 +621,7 @@ class Core:
         self.backend.store_buffer(thread.thread_id).drain_upto(
             safe,
             self.memory,
-            self._commit_hook(thread) if self.observer is not None else None,
+            self._commit_hook(thread, obs) if obs is not None else None,
         )
         if not spec.pending:
             spec.head_seqs.clear()
@@ -605,7 +630,7 @@ class Core:
         if spec.pending:
             oldest = min(spec.pending, key=lambda p: p.seq)
             if spec.seq - oldest.seq > self.config.rob_size:
-                self._wait_for_resolution(thread, spec)
+                self._wait_for_resolution(thread, spec, obs)
 
     # ------------------------------------------------------------------
     # speculation machinery
@@ -616,6 +641,7 @@ class Core:
         spec: _SpecState,
         du: FetchedUop,
         resolve: ResolveInfo,
+        obs: Optional[EventBus],
     ) -> None:
         pred = du.pred
         if pred is None:
@@ -626,7 +652,6 @@ class Core:
             return
         actual = resolve.actual_target
         mispredicted = pred.target is not None and pred.target != actual
-        obs = self.observer
         if obs is not None and obs.wants(BRANCH_RESOLVE):
             obs.emit(
                 BRANCH_RESOLVE,
@@ -664,26 +689,39 @@ class Core:
             last_source=thread.last_source,
         )
 
-    def _sweep(self, thread: ThreadContext, spec: _SpecState) -> None:
+    def _sweep(
+        self,
+        thread: ThreadContext,
+        spec: _SpecState,
+        obs: Optional[EventBus],
+    ) -> None:
         """Fire every pending squash whose resolution time has come."""
         while spec.pending:
             nxt = min(spec.pending, key=lambda p: p.resolve_cycle)
             if nxt.resolve_cycle > thread.fetch_clock:
                 return
-            self._squash(thread, spec, nxt)
+            self._squash(thread, spec, nxt, obs)
 
-    def _wait_for_resolution(self, thread: ThreadContext, spec: _SpecState) -> None:
+    def _wait_for_resolution(
+        self,
+        thread: ThreadContext,
+        spec: _SpecState,
+        obs: Optional[EventBus],
+    ) -> None:
         """Stall fetch until the earliest pending squash can fire."""
         earliest = min(p.resolve_cycle for p in spec.pending)
         thread.fetch_clock = max(thread.fetch_clock, earliest)
-        self._sweep(thread, spec)
+        self._sweep(thread, spec, obs)
 
     def _squash(
-        self, thread: ThreadContext, spec: _SpecState, pending: _PendingSquash
+        self,
+        thread: ThreadContext,
+        spec: _SpecState,
+        pending: _PendingSquash,
+        obs: Optional[EventBus],
     ) -> None:
         cp = pending.checkpoint
         squashed = spec.seq - pending.seq
-        obs = self.observer
         if obs is not None and obs.wants(SQUASH):
             obs.emit(
                 SQUASH,

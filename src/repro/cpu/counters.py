@@ -13,7 +13,12 @@ from dataclasses import dataclass, fields
 
 @dataclass
 class PerfCounters:
-    """Per-thread counter block; snapshot/delta for scoped measurement."""
+    """Per-thread counter block; snapshot/delta for scoped measurement.
+
+    Deliberately *not* slotted: the replay engine
+    (:mod:`repro.cpu.engine`) records and restores counter blocks
+    through ``__dict__``, which ``__slots__`` would remove.
+    """
 
     uops_dsb: int = 0  # IDQ.DSB_UOPS
     uops_mite: int = 0  # IDQ.MITE_UOPS ("from the legacy decode pipeline")

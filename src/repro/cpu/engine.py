@@ -1,0 +1,534 @@
+"""Pluggable simulation engines: how a :class:`~repro.cpu.core.Core`
+steps its threads.
+
+The core's public running surface (``call``/``run_smt``/``reset`` plus
+the harness-side pokes ``write_reg``/``write_mem``/``flush_uop_cache``)
+is an *operation ledger*: with no noise model and no observer attached,
+the simulator is a pure function of the operation sequence applied
+since the last reset -- same program, same config, same ops, same
+state, bit for bit (the reset-parity tests have asserted exactly this
+since PR 2).  The engine layer turns that guarantee into speed:
+
+:class:`ReferenceEngine`
+    The interpreter: runs the block-step loop exactly as ``Core`` always
+    has.  The loop lives here (not on ``Core``) so per-block attribute
+    traffic -- the observer and noise lookups, the bound ``_step`` --
+    is hoisted out of the hot path when ``core.fast`` is set.
+
+:class:`ReplayEngine`
+    Superblock replay: memoizes every completed ``call`` as a node in a
+    trie keyed by the operation path from reset -- (program entry,
+    thread, register arguments, clock policy) per edge -- and replays
+    the recorded *effects* (end-of-call thread state, absolute counter
+    block, committed stores, returned counter delta) instead of
+    re-simulating micro-ops.  Invalidation rules, per the paper's own
+    determinism boundary:
+
+    - **noise** (``core.noise is not None``): RDTSC jitter and random
+      evictions make a segment non-deterministic -- the epoch runs on
+      the reference interpreter, nothing is recorded or replayed;
+    - **SMT** (``run_smt``): treated as non-deterministic interleaving
+      -- the engine materializes, bails to the reference loop and marks
+      the epoch dead;
+    - **observation** (an attached :class:`~repro.observe.EventBus`, or
+      direct microarchitectural access via ``Core.thread()``): replayed
+      segments emit no events and keep microarchitectural state
+      *virtual*, so the epoch is materialized and marked dead.
+
+    Replay keeps *architectural* state (registers, memory, counters,
+    clocks) exact at all times; microarchitectural state (micro-op
+    cache, hierarchy, predictors) goes stale while virtual and is
+    rebuilt on demand by :meth:`ReplayEngine.materialize` -- a real
+    reset plus re-execution of the journaled operation path.  A purely
+    virtual epoch leaves the real microarchitecture untouched at its
+    post-reset image, which makes the next reset *soft*: re-image
+    memory and re-zero thread state, skipping the micro-op cache /
+    hierarchy / predictor sweeps entirely.  That soft reset plus
+    replayed calls is where the ~10x+ trial throughput comes from
+    (``benchmarks/test_session_throughput.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cpu.counters import PerfCounters
+from repro.cpu.thread import USER_PRIV, fresh_registers
+from repro.errors import ConfigError, SimFault
+
+#: Engine names accepted by ``CPUConfig.engine`` / ``Core(engine=)``.
+ENGINES = ("reference", "replay")
+
+#: Sentinel for ``reset(noise=...)``: "keep the current model".
+KEEP_NOISE = object()
+
+_MASK = (1 << 64) - 1
+
+
+class Engine:
+    """Stepping-backend interface extracted from ``Core``.
+
+    ``Core`` routes every ledger operation through its engine; the
+    engine decides whether to interpret, record or replay it.  ``entry``
+    addresses arrive pre-resolved (labels are program identity, not
+    engine state).
+    """
+
+    name = "abstract"
+
+    def __init__(self, core):
+        self.core = core
+
+    # -- running -------------------------------------------------------
+    def call(self, entry: int, thread_id: int,
+             regs: Optional[Dict[str, int]], reset_clocks: bool,
+             max_blocks: Optional[int]) -> PerfCounters:
+        raise NotImplementedError
+
+    def run_smt(self, entries: Tuple[int, int], regs,
+                reset_clocks: bool,
+                max_blocks: Optional[int]) -> Tuple[PerfCounters, PerfCounters]:
+        raise NotImplementedError
+
+    # -- lifecycle -----------------------------------------------------
+    def reset(self, noise=KEEP_NOISE) -> None:
+        self.core._hard_reset(noise)
+
+    def materialize(self) -> None:
+        """Make the real microarchitectural state current (no-op for
+        backends that never let it go stale)."""
+
+    # -- ledger operations outside call/run_smt ------------------------
+    def write_reg(self, name: str, value: int, thread_id: int) -> None:
+        self.core.threads[thread_id].regs[name] = value & _MASK
+
+    def write_mem(self, addr: int, value: int, size: int) -> None:
+        self.core.memory.write(addr, value, size)
+
+    def flush_uop_cache(self) -> None:
+        self.core.uop_cache.flush()
+
+    # -- invalidation hooks --------------------------------------------
+    def observe_attached(self) -> None:
+        """An event bus is being attached (observation starts)."""
+
+    def thread_accessed(self) -> None:
+        """Caller is reaching past the ledger (``Core.thread()``)."""
+
+    def stats(self) -> Dict[str, int]:
+        return {}
+
+
+class ReferenceEngine(Engine):
+    """The interpreter backend: the pre-engine ``Core`` loops, verbatim
+    in semantics, with the per-block attribute lookups hoisted when
+    ``core.fast`` is set."""
+
+    name = "reference"
+
+    def call(self, entry, thread_id, regs, reset_clocks, max_blocks):
+        core = self.core
+        thread = core.threads[thread_id]
+        if regs:
+            for name, value in regs.items():
+                thread.regs[name] = value & _MASK
+        if reset_clocks:
+            thread.reset_pipeline_clocks()
+            # The store-drain schedule lives in the same clock domain
+            # as the pipeline clocks; rebasing one without the other
+            # would leave phantom in-flight commits from the last call.
+            core.backend.reset_store_timing()
+        thread.fetch_rip = entry
+        thread.fetch_priv = thread.privilege
+        thread.halted = False
+        before = thread.counters.snapshot()
+        limit = max_blocks if max_blocks is not None else core.MAX_BLOCKS
+        blocks = 0
+        step = core._step
+        fast = core.fast
+        obs = core.observer
+        noise = core.noise
+        while not thread.halted:
+            blocks += 1
+            if blocks > limit:
+                raise SimFault(
+                    f"thread {thread_id} exceeded {limit} fetch blocks "
+                    f"(runaway program?) at rip=0x{thread.fetch_rip:x}"
+                )
+            if not fast:
+                obs = core.observer
+                noise = core.noise
+            step(thread, obs, noise)
+        return thread.counters.delta(before)
+
+    def run_smt(self, entries, regs, reset_clocks, max_blocks):
+        core = self.core
+        core.uop_cache.set_smt_active(True)
+        core.frontend.smt_active = True
+        if reset_clocks:
+            core.backend.reset_store_timing()
+        t0, t1 = core.threads
+        befores = []
+        for tid, thread in ((0, t0), (1, t1)):
+            if regs[tid]:
+                for name, value in regs[tid].items():
+                    thread.regs[name] = value & _MASK
+            if reset_clocks:
+                thread.reset_pipeline_clocks()
+            thread.fetch_rip = entries[tid]
+            thread.fetch_priv = thread.privilege
+            thread.halted = False
+            befores.append(thread.counters.snapshot())
+        limit = max_blocks if max_blocks is not None else core.MAX_BLOCKS
+        blocks = 0
+        step = core._step
+        fast = core.fast
+        obs = core.observer
+        noise = core.noise
+        while True:
+            h0 = t0.halted
+            h1 = t1.halted
+            if h0 and h1:
+                break
+            blocks += 1
+            if blocks > limit:
+                raise SimFault(f"SMT run exceeded {limit} fetch blocks")
+            # Advance the thread whose fetch clock is behind (ties go
+            # to thread 0, matching min() over (t0, t1)).
+            if h0:
+                thread = t1
+            elif h1 or t0.fetch_clock <= t1.fetch_clock:
+                thread = t0
+            else:
+                thread = t1
+            if not fast:
+                obs = core.observer
+                noise = core.noise
+            step(thread, obs, noise)
+        core.frontend.smt_active = False
+        core.uop_cache.set_smt_active(False)
+        return (
+            t0.counters.delta(befores[0]),
+            t1.counters.delta(befores[1]),
+        )
+
+
+class _Node:
+    """One trie node: the state reached by an operation path."""
+
+    __slots__ = ("children", "effects")
+
+    def __init__(self):
+        self.children: Dict[tuple, "_Node"] = {}
+        #: For ``call`` edges: ``(thread_state, counters_abs, stores,
+        #: delta)``; ``None`` for cheap ledger edges (reg/mem writes,
+        #: flushes), whose effect is the operation itself.
+        self.effects = None
+
+
+class ReplayEngine(Engine):
+    """Superblock replay backend (see the module docstring)."""
+
+    name = "replay"
+
+    #: Ceiling on memoized trie nodes per core; past it the current
+    #: epoch falls back to the reference loop (recording stops, replay
+    #: of already-memoized prefixes keeps working on later epochs).
+    MAX_NODES = 250_000
+
+    def __init__(self, core):
+        super().__init__(core)
+        self._ref = ReferenceEngine(core)
+        self._root = _Node()
+        self._node = self._root
+        self._journal: list = []
+        #: Real microarchitectural state is stale (some calls since the
+        #: epoch's reset were replayed, not simulated).
+        self._virtual = False
+        #: Recording/replay disabled until the next reset.
+        self._dead = False
+        #: No real call/flush has touched the microarchitecture since
+        #: the last reset -- the next reset can be soft.
+        self._uarch_clean = True
+        self._nodes = 1
+        # Telemetry (surfaced via Core.engine_stats()).
+        self.replayed = 0
+        self.recorded = 0
+        self.bailouts = 0
+        self.soft_resets = 0
+        self.materializations = 0
+
+    # ------------------------------------------------------------------
+    # epoch state
+
+    def _usable(self) -> bool:
+        core = self.core
+        return (not self._dead and core.noise is None
+                and core.observer is None)
+
+    def materialize(self) -> None:
+        """Rebuild real state from the journal: hard-reset the core,
+        then re-execute every ledger operation of this epoch through
+        the reference interpreter."""
+        if not self._virtual:
+            return
+        core = self.core
+        self._virtual = False  # before re-execution: ops below are real
+        self.materializations += 1
+        core._hard_reset(KEEP_NOISE)
+        ref = self._ref
+        for op in self._journal:
+            kind = op[0]
+            if kind == "c":
+                ref.call(op[1], op[2], dict(op[3]) if op[3] else None,
+                         op[4], op[5])
+            elif kind == "r":
+                core.threads[op[3]].regs[op[1]] = op[2]
+            elif kind == "m":
+                core.memory.write(op[1], op[2], op[3])
+            else:  # "f"
+                core.uop_cache.flush()
+        self._uarch_clean = False
+
+    def reset(self, noise=KEEP_NOISE) -> None:
+        core = self.core
+        if (self._uarch_clean and core.observer is None
+                and noise is KEEP_NOISE and core.noise is None):
+            self._soft_reset()
+            self.soft_resets += 1
+        else:
+            core._hard_reset(noise)
+            self._uarch_clean = True
+        self._node = self._root
+        self._journal = []
+        self._virtual = False
+        self._dead = False
+
+    def _soft_reset(self) -> None:
+        """Reset after an epoch that never touched the real
+        microarchitecture: the micro-op cache, hierarchy and predictors
+        still hold their post-reset image, so only architectural state
+        needs re-zeroing."""
+        core = self.core
+        memory = core.memory
+        memory.clear()
+        for base, payload in core.program.data.items():
+            memory.load_image(base, payload)
+        for buffer in core.backend.store_buffers.values():
+            buffer.clear()
+        core.backend.reset_store_timing()
+        core.frontend.smt_active = False
+        for thread in core.threads:
+            thread.regs = fresh_registers(thread.thread_id)
+            thread.privilege = USER_PRIV
+            thread.halted = True
+            thread.fetch_rip = 0
+            thread.fetch_priv = USER_PRIV
+            thread.kernel_link = []
+            thread.counters.reset()
+            thread.reset_pipeline_clocks()
+        core._reset_spec()
+
+    # ------------------------------------------------------------------
+    # running
+
+    def call(self, entry, thread_id, regs, reset_clocks, max_blocks):
+        if not self._usable():
+            self._dead = True
+            self.materialize()
+            self._uarch_clean = False
+            return self._ref.call(entry, thread_id, regs, reset_clocks,
+                                  max_blocks)
+        key = ("c", entry, thread_id,
+               tuple(sorted(regs.items())) if regs else None,
+               reset_clocks, max_blocks)
+        node = self._node.children.get(key)
+        if node is not None:
+            self._journal.append(key)
+            self._node = node
+            self._virtual = True
+            self.replayed += 1
+            return self._apply_call(node, thread_id)
+        self.materialize()
+        if self._nodes >= self.MAX_NODES:
+            self._dead = True
+            self.bailouts += 1
+            self._uarch_clean = False
+            return self._ref.call(entry, thread_id, regs, reset_clocks,
+                                  max_blocks)
+        return self._record_call(key, entry, thread_id, regs,
+                                 reset_clocks, max_blocks)
+
+    def run_smt(self, entries, regs, reset_clocks, max_blocks):
+        # SMT interleaving invalidates the segment: materialize, run
+        # the reference loop, and keep the epoch on it.
+        self.materialize()
+        self._dead = True
+        self.bailouts += 1
+        self._uarch_clean = False
+        return self._ref.run_smt(entries, regs, reset_clocks, max_blocks)
+
+    # ------------------------------------------------------------------
+    # record / replay
+
+    def _record_call(self, key, entry, thread_id, regs, reset_clocks,
+                     max_blocks):
+        core = self.core
+        memory = core.memory
+        stores: list = []
+        real_write = memory.write
+
+        def recording_write(addr, value, size=8,
+                            _log=stores.append, _write=real_write):
+            _log((addr, value, size))
+            _write(addr, value, size)
+
+        memory.write = recording_write  # shadows the bound method
+        self._uarch_clean = False
+        try:
+            delta = self._ref.call(entry, thread_id, regs, reset_clocks,
+                                   max_blocks)
+        except BaseException:
+            # A faulting call leaves mid-run state; reproducing that by
+            # replay is not worth modelling -- keep the epoch real.
+            self._dead = True
+            raise
+        finally:
+            del memory.__dict__["write"]
+        thread = core.threads[thread_id]
+        node = _Node()
+        node.effects = (
+            (
+                dict(thread.regs),
+                thread.privilege,
+                thread.halted,
+                thread.fetch_rip,
+                thread.fetch_priv,
+                thread.fetch_clock,
+                thread.last_source,
+                list(thread.kernel_link),
+                dict(thread.reg_ready),
+                thread.exec_floor,
+                thread.oldest_inflight_done,
+                thread.dispatch_cycle,
+                thread.dispatch_slots_used,
+                thread.last_retire,
+                thread.last_rdtsc,
+            ),
+            dict(thread.counters.__dict__),
+            tuple(stores),
+            dict(delta.__dict__),
+        )
+        self._node.children[key] = node
+        self._node = node
+        self._nodes += 1
+        self._journal.append(key)
+        self.recorded += 1
+        return delta
+
+    def _apply_call(self, node, thread_id):
+        core = self.core
+        thread = core.threads[thread_id]
+        state, counters_abs, stores, delta = node.effects
+        (regs, privilege, halted, fetch_rip, fetch_priv, fetch_clock,
+         last_source, kernel_link, reg_ready, exec_floor,
+         oldest_inflight_done, dispatch_cycle, dispatch_slots_used,
+         last_retire, last_rdtsc) = state
+        thread.regs = dict(regs)
+        thread.privilege = privilege
+        thread.halted = halted
+        thread.fetch_rip = fetch_rip
+        thread.fetch_priv = fetch_priv
+        thread.fetch_clock = fetch_clock
+        thread.last_source = last_source
+        thread.kernel_link = list(kernel_link)
+        thread.reg_ready = dict(reg_ready)
+        thread.exec_floor = exec_floor
+        thread.oldest_inflight_done = oldest_inflight_done
+        thread.dispatch_cycle = dispatch_cycle
+        thread.dispatch_slots_used = dispatch_slots_used
+        thread.last_retire = last_retire
+        thread.last_rdtsc = last_rdtsc
+        thread.counters.__dict__.update(counters_abs)
+        write = core.memory.write
+        for addr, value, size in stores:
+            write(addr, value, size)
+        return PerfCounters(**delta)
+
+    # ------------------------------------------------------------------
+    # cheap ledger operations
+
+    def _advance(self, key) -> bool:
+        """Record/advance a cheap ledger edge; False -> epoch died."""
+        if not self._usable():
+            self._dead = True
+            self.materialize()
+            return False
+        children = self._node.children
+        node = children.get(key)
+        if node is None:
+            if self._nodes >= self.MAX_NODES:
+                self._dead = True
+                self.materialize()
+                return False
+            node = _Node()
+            children[key] = node
+            self._nodes += 1
+        self._node = node
+        self._journal.append(key)
+        return True
+
+    def write_reg(self, name, value, thread_id):
+        masked = value & _MASK
+        self._advance(("r", name, masked, thread_id))
+        self.core.threads[thread_id].regs[name] = masked
+
+    def write_mem(self, addr, value, size):
+        self._advance(("m", addr, value, size))
+        self.core.memory.write(addr, value, size)
+
+    def flush_uop_cache(self):
+        if self._advance(("f",)) and self._virtual:
+            # Virtual: the real cache holds the (stale) post-reset
+            # image; the flush is deferred to the journal, where
+            # materialize() applies it at the right point in the path.
+            return
+        self._uarch_clean = False
+        self.core.uop_cache.flush()
+
+    # ------------------------------------------------------------------
+    # invalidation hooks
+
+    def observe_attached(self):
+        self.materialize()
+        self._dead = True
+        self._uarch_clean = False
+
+    def thread_accessed(self):
+        # Reaching past the ledger (predictor pokes, cache inspection)
+        # can mutate state the trie keys cannot see: materialize and
+        # keep the epoch on the reference loop.
+        self.materialize()
+        self._dead = True
+        self._uarch_clean = False
+
+    def stats(self):
+        return {
+            "nodes": self._nodes,
+            "replayed": self.replayed,
+            "recorded": self.recorded,
+            "bailouts": self.bailouts,
+            "soft_resets": self.soft_resets,
+            "materializations": self.materializations,
+            "dead": self._dead,
+            "virtual": self._virtual,
+        }
+
+
+def make_engine(name: str, core) -> Engine:
+    """Engine factory for ``Core``; raises on unknown names."""
+    if name == "reference":
+        return ReferenceEngine(core)
+    if name == "replay":
+        return ReplayEngine(core)
+    raise ConfigError(f"unknown engine {name!r}; expected one of {ENGINES}")

@@ -26,7 +26,7 @@ def fresh_registers(thread_id: int = 0) -> Dict[str, int]:
     return regs
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadContext:
     """One SMT hardware context.
 
@@ -35,6 +35,10 @@ class ThreadContext:
     ``fetch_priv``, ``fetch_clock``) tracks the *speculative* front-end
     position, which runs ahead of -- and is resteered independently of --
     the architectural state.
+
+    Slotted: every field below is touched on the per-uop hot path, and
+    the replay engine restores them by plain attribute assignment
+    (:mod:`repro.cpu.engine`), so there is no dynamic-attribute use.
     """
 
     thread_id: int = 0

@@ -85,6 +85,16 @@ class _RegionWalk:
 class FrontEnd:
     """Fetch and decode engine shared by all threads of a core."""
 
+    __slots__ = (
+        "config",
+        "program",
+        "uop_cache",
+        "hierarchy",
+        "_walks",
+        "smt_active",
+        "observer",
+    )
+
     def __init__(
         self,
         config: CPUConfig,
@@ -168,19 +178,30 @@ class FrontEnd:
         source = "dsb" if hit_lines is not None else "mite"
 
         # --- delivery walk with prediction cuts -------------------------
+        # (hot path: predictor and uop-source tallies hoisted out of the
+        # per-uop work -- sources are counted per macro here instead of
+        # in a second pass over dynuops)
         dynuops: List[FetchedUop] = []
         delivered_macros: List[MacroOp] = []
         kind = BLOCK_SEQ
         next_rip: Optional[int] = None
+        predictor = thread.predictor
+        n_dsb = n_mite = n_msrom = 0
         for macro in walk.macros:
             msource = "msrom" if effective_msrom(macro, config) else source
             first = len(dynuops)
             for uop in macro.uops:
                 dynuops.append(FetchedUop(uop=uop, macro=macro, source=msource))
+            if msource == "msrom":
+                n_msrom += len(macro.uops)
+            elif msource == "dsb":
+                n_dsb += len(macro.uops)
+            else:
+                n_mite += len(macro.uops)
             delivered_macros.append(macro)
             bkind = macro.branch_kind
             if bkind is BranchKind.JCC:
-                pred = thread.predictor.predict(macro)
+                pred = predictor.predict(macro)
                 dynuops[first].pred = pred
                 counters.branches += 1
                 if pred.taken:
@@ -189,14 +210,14 @@ class FrontEnd:
                     break
                 continue
             if bkind in (BranchKind.JMP, BranchKind.CALL):
-                pred = thread.predictor.predict(macro)
+                pred = predictor.predict(macro)
                 dynuops[first].pred = pred
                 counters.branches += 1
                 kind = BLOCK_TAKEN
                 next_rip = macro.target
                 break
             if bkind in (BranchKind.JMP_IND, BranchKind.CALL_IND, BranchKind.RET):
-                pred = thread.predictor.predict(macro)
+                pred = predictor.predict(macro)
                 dynuops[first].pred = pred
                 counters.branches += 1
                 if pred.target is None:
@@ -250,11 +271,12 @@ class FrontEnd:
         if source == "dsb":
             cycles += -(-n_delivered // config.dsb_uops_per_cycle)
         else:
-            itlb_misses_before = self.hierarchy.itlb.misses
-            access = self.hierarchy.access_inst(entry)
+            hierarchy = self.hierarchy
+            itlb_misses_before = hierarchy.itlb.misses
+            access = hierarchy.access_inst(entry)
             if access.level != "L1":
                 counters.icache_misses += 1
-            itlb_missed = self.hierarchy.itlb.misses - itlb_misses_before
+            itlb_missed = hierarchy.itlb.misses - itlb_misses_before
             counters.itlb_misses += itlb_missed
             if itlb_missed:
                 obs = self.observer
@@ -264,9 +286,9 @@ class FrontEnd:
                         thread.fetch_clock,
                         thread.thread_id,
                         entry=entry,
-                        page=self.hierarchy.itlb.page_of(entry),
+                        page=hierarchy.itlb.page_of(entry),
                     )
-            extra = max(0, access.latency - self.hierarchy.l1i.latency)
+            extra = max(0, access.latency - hierarchy.l1i.latency)
             total_bytes = sum(m.length for m in delivered_macros)
             lcp = sum(m.lcp_count for m in delivered_macros)
             mite_cycles = (
@@ -287,18 +309,15 @@ class FrontEnd:
                     thread.thread_id, entry, walk.specs, thread.fetch_priv
                 )
 
-        for du in dynuops:
-            if du.source == "dsb":
-                counters.uops_dsb += 1
-            elif du.source == "msrom":
-                counters.uops_msrom += 1
-            else:
-                counters.uops_mite += 1
+        counters.uops_dsb += n_dsb
+        counters.uops_msrom += n_msrom
+        counters.uops_mite += n_mite
 
         thread.last_source = source
         thread.fetch_clock += max(cycles, 1)
+        fetch_clock = thread.fetch_clock
         for du in dynuops:
-            du.fetch_cycle = thread.fetch_clock
+            du.fetch_cycle = fetch_clock
 
         obs = self.observer
         if obs is not None and obs.wants(BRANCH_PREDICT):

@@ -59,6 +59,7 @@ def contention_jobs(
     resources: Optional[Sequence[str]] = None,
     modes: Optional[Sequence[str]] = None,
     variants: Optional[Sequence[str]] = None,
+    engine: Optional[str] = None,
 ) -> List[Job]:
     """The contention matrix as a job list, grid order
     (resource, mode, variant).
@@ -66,7 +67,8 @@ def contention_jobs(
     Each cell carries its resource's tuned configuration
     (:func:`repro.contention.templates.contention_config`), so the
     config participates in the cache key and per-resource retunes
-    invalidate exactly the affected cells.
+    invalidate exactly the affected cells.  ``engine`` selects the
+    stepping backend on top of each tuned config.
     """
     from repro.contention.session import MODES
     from repro.contention.templates import (
@@ -80,10 +82,17 @@ def contention_jobs(
     if modes is None:
         modes = FAST_MODES if fast else MODES
     variants = variants or VARIANTS
+
+    def cell_config(resource: str) -> CPUConfig:
+        config = contention_config(resource)
+        if engine is not None:
+            config = config.with_options(engine=engine)
+        return config
+
     return [
         Job(
             "contention.cell",
-            config=contention_config(resource),
+            config=cell_config(resource),
             params={
                 "resource": resource,
                 "mode": mode,
@@ -104,6 +113,7 @@ def run_contention(
     resources: Optional[Sequence[str]] = None,
     modes: Optional[Sequence[str]] = None,
     variants: Optional[Sequence[str]] = None,
+    engine: Optional[str] = None,
     **runner_kwargs,
 ) -> Tuple[Dict[str, Dict[str, Dict[str, Dict[str, Any]]]],
            List[JobOutcome], RunSummary]:
@@ -113,7 +123,8 @@ def run_contention(
     ``resource -> mode -> variant -> cell dict`` (the
     :meth:`CellResult.as_dict` fields, ``slowdown`` signed).
     """
-    jobs = contention_jobs(fast, trials, resources, modes, variants)
+    jobs = contention_jobs(fast, trials, resources, modes, variants,
+                           engine=engine)
     outcomes, summary = run_jobs(jobs, **runner_kwargs)
     failures = [o for o in outcomes if not o.ok]
     if failures:

@@ -36,7 +36,11 @@ from repro.isa.program import Program
 #: job hash, so bumping it orphans -- never corrupts -- old entries.
 #: v2: RDTSC reads are clamped monotonic under timer jitter, changing
 #: noisy-run results (see repro.cpu.noise.NoiseModel.rdtsc_jitter).
-CACHE_SCHEMA_VERSION = 2
+#: v3: CPUConfig grew the ``engine`` stepping-backend field
+#: (repro.cpu.engine), so every hash now names the backend that
+#: produced the result -- reference and replay runs cache separately
+#: even though the parity tests hold them bit-identical.
+CACHE_SCHEMA_VERSION = 3
 
 
 def canonical_json(obj: Any) -> bytes:

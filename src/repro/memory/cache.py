@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Reference/miss/eviction counters for one cache level."""
 
@@ -48,6 +48,9 @@ class Cache:
     ``on_evict`` is called with the evicted line's base address -- the
     hook the micro-op cache uses for L1I inclusion.
     """
+
+    __slots__ = ("name", "sets", "ways", "line_size", "latency",
+                 "on_evict", "stats", "_lines")
 
     def __init__(
         self,

@@ -36,6 +36,8 @@ class MemoryHierarchy:
     as the Spectre-v1 baseline requires.
     """
 
+    __slots__ = ("l1i", "l1d", "l2", "llc", "dram_latency", "itlb", "dtlb")
+
     def __init__(
         self,
         l1_latency: int = 4,

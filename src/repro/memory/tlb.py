@@ -17,6 +17,9 @@ from typing import Callable, List, Optional
 class TLB:
     """Fully-associative translation buffer with LRU replacement."""
 
+    __slots__ = ("entries", "page_size", "walk_latency", "on_flush",
+                 "refs", "misses", "flushes", "_pages")
+
     def __init__(
         self,
         entries: int = 128,
