@@ -579,16 +579,38 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve.server import run_server
+    if args.coordinator and args.worker:
+        raise SystemExit("--coordinator and --worker are mutually exclusive")
+
+    if args.coordinator:
+        from repro.serve.cluster import run_coordinator
+
+        port = args.port if args.port != 8787 else 8786
+        print(f"repro serve: coordinator on {args.host}:{port}"
+              + (f" (shared store {args.shared_store})"
+                 if args.shared_store else ""))
+        print("workers register via POST /v1/workers/register; start them "
+              "with: repro serve --worker HOST:PORT")
+        run_coordinator(host=args.host, port=port,
+                        shared_store=args.shared_store)
+        print("repro serve: coordinator drained")
+        return 0
 
     print(f"repro serve: listening on {args.host}:{args.port} "
           f"({args.workers} worker(s), queue capacity "
           f"{args.queue_capacity}, mode {args.worker_mode})")
+    if args.worker:
+        print(f"cluster worker: registering with coordinator {args.worker}")
     print("SIGTERM/SIGINT drains gracefully: running jobs finish, "
           "new submissions get 503")
+    from repro.serve.server import run_server
+
     run_server(host=args.host, port=args.port, workers=args.workers,
                queue_capacity=args.queue_capacity, cache=_make_cache(args),
-               worker_mode=args.worker_mode)
+               worker_mode=args.worker_mode,
+               shared_store=args.shared_store,
+               coordinator_url=args.worker,
+               advertise_host=args.advertise_host)
     print("repro serve: drained")
     return 0
 
@@ -880,6 +902,22 @@ def main(argv=None) -> int:
                         "$REPRO_CACHE_DIR or ~/.cache/repro)")
     p.add_argument("--no-cache", action="store_true",
                    help="serve without a result store (no warm answers)")
+    p.add_argument("--coordinator", action="store_true",
+                   help="run the cluster coordinator instead of a worker "
+                        "service: route submissions to registered workers "
+                        "by rendezvous-hashed job key, coalesce identical "
+                        "fleet submissions, split sweeps, evict dead "
+                        "workers (default port 8786)")
+    p.add_argument("--worker", default=None, metavar="COORD",
+                   help="run as a cluster worker registering with the "
+                        "coordinator at COORD (host:port)")
+    p.add_argument("--shared-store", default=None, metavar="DIR",
+                   help="fleet-shared read-through result store directory "
+                        "(workers write through to it; the coordinator "
+                        "answers warm submissions from it)")
+    p.add_argument("--advertise-host", default=None, metavar="HOST",
+                   help="(--worker) hostname to register with the "
+                        "coordinator (default: --host)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(

@@ -38,6 +38,7 @@ from repro.harness.cache import (
     CacheStats,
     NullCache,
     ResultCache,
+    TieredResultCache,
     default_cache_dir,
 )
 from repro.harness.executor import (
@@ -69,6 +70,7 @@ __all__ = [
     "ResultCache",
     "RunSummary",
     "Sweep",
+    "TieredResultCache",
     "TransientJobError",
     "canonical_json",
     "default_cache_dir",

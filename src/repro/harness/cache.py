@@ -13,13 +13,30 @@ to a miss, never to a wrong result.
 Writes are atomic (temp file in the destination directory, then
 ``os.replace``), so concurrent writers -- e.g. two batch runs sharing
 a cache -- can only ever race to install identical bytes.
+
+A blob that fails validation anyway (a crashed writer on a filesystem
+without atomic-rename durability, a truncating copy, a flipped bit)
+is **quarantined**: moved aside into ``<root>/quarantine/`` and
+counted as a miss, so the serve worker never re-trips on the same
+corrupt file and an operator can inspect what went wrong.  Artifacts
+get the same treatment via a ``<name>.sha256`` sidecar written next
+to every artifact blob.
+
+:class:`TieredResultCache` stacks the stores for the cluster tier:
+an in-memory hot LRU in front of the local disk store, with an
+optional *shared* read-through store (a network/shared directory all
+nodes mount) behind it -- gets promote hits forward, puts write
+through every tier.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -126,25 +143,58 @@ class ResultCache:
         """Blob path for a job hash."""
         return self.objects_dir / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt blobs are moved aside for inspection."""
+        return self.root / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a failed-validation file out of the lookup path so it
+        reads as a clean miss forever after (best-effort: a concurrent
+        quarantine of the same file wins the rename race).  The
+        destination name folds in the parent directories so artifacts
+        named identically under different keys cannot collide."""
+        try:
+            relative = path.relative_to(self.root)
+        except ValueError:
+            relative = Path(path.name)
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / "_".join(relative.parts))
+        except OSError:
+            pass
+
     # ------------------------------------------------------------------
+
+    def get_record(self, key: str) -> Optional[Dict[str, Any]]:
+        """Full validated cache record for ``key`` (``schema``/``key``/
+        ``fn``/``result``), or ``None`` on a miss.  A file that exists
+        but fails validation -- truncated JSON from a crashed writer,
+        foreign schema, mismatched key -- is quarantined, never raised.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            record = json.loads(raw)
+        except ValueError:
+            self._quarantine(path)
+            return None
+        if (not isinstance(record, dict)
+                or record.get("schema") != CACHE_SCHEMA_VERSION
+                or record.get("key") != key
+                or "result" not in record):
+            self._quarantine(path)
+            return None
+        return record
 
     def get(self, key: str) -> Optional[Any]:
         """Cached result for ``key``, or ``None`` on any kind of miss
-        (absent, unreadable, wrong schema, wrong key)."""
-        path = self.path_for(key)
-        try:
-            record = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return None
-        if not isinstance(record, dict):
-            return None
-        if record.get("schema") != CACHE_SCHEMA_VERSION:
-            return None
-        if record.get("key") != key:
-            return None
-        if "result" not in record:
-            return None
-        return record["result"]
+        (absent, unreadable, corrupt -- corrupt blobs are quarantined)."""
+        record = self.get_record(key)
+        return None if record is None else record["result"]
 
     def put(self, key: str, fn: str, result: Any) -> Path:
         """Atomically store ``result`` under ``key``.
@@ -180,18 +230,48 @@ class ResultCache:
             raise ValueError(f"invalid artifact name {name!r}")
         return self.artifacts_dir / key[:2] / key / name
 
+    #: Sidecar suffix carrying each artifact's content hash.
+    ARTIFACT_DIGEST_SUFFIX = ".sha256"
+
     def put_artifact(self, key: str, name: str, data) -> Path:
-        """Atomically store an artifact (``bytes`` or ``str``)."""
+        """Atomically store an artifact (``bytes`` or ``str``) plus a
+        ``<name>.sha256`` integrity sidecar.
+
+        Artifacts are opaque bytes, so unlike result blobs they carry
+        no self-validating structure; the sidecar is what lets
+        :meth:`get_artifact` tell a truncated blob (crashed writer,
+        torn copy) from a healthy one."""
         if isinstance(data, str):
             data = data.encode("utf-8")
-        return _atomic_write(self.artifact_path(key, name), data)
+        path = self.artifact_path(key, name)
+        _atomic_write(path, data)
+        digest = hashlib.sha256(data).hexdigest()
+        _atomic_write(path.with_name(name + self.ARTIFACT_DIGEST_SUFFIX),
+                      digest.encode("ascii"))
+        return path
 
     def get_artifact(self, key: str, name: str) -> Optional[bytes]:
-        """Stored artifact bytes, or ``None`` when absent/unreadable."""
+        """Stored artifact bytes, or ``None`` when absent/unreadable.
+
+        When an integrity sidecar exists and disagrees with the blob's
+        actual hash, both files are quarantined and the read counts as
+        a miss (pre-sidecar artifacts, with no sidecar at all, are
+        served as-is)."""
+        path = self.artifact_path(key, name)
         try:
-            return self.artifact_path(key, name).read_bytes()
+            blob = path.read_bytes()
         except OSError:
             return None
+        sidecar = path.with_name(name + self.ARTIFACT_DIGEST_SUFFIX)
+        try:
+            expected = sidecar.read_text(encoding="ascii").strip()
+        except (OSError, UnicodeDecodeError):
+            return blob  # no (readable) sidecar: legacy artifact
+        if hashlib.sha256(blob).hexdigest() != expected:
+            self._quarantine(path)
+            self._quarantine(sidecar)
+            return None
+        return blob
 
     # ------------------------------------------------------------------
 
@@ -205,12 +285,16 @@ class ResultCache:
         except FileNotFoundError:
             return
 
-    def _artifact_files(self):
+    def _artifact_files(self, include_sidecars: bool = True):
         if not self.artifacts_dir.is_dir():
             return
         for path in self._walk(self.artifacts_dir, "*"):
-            if path.is_file() and path.suffix != ".tmp":
-                yield path
+            if not path.is_file() or path.suffix == ".tmp":
+                continue
+            if (not include_sidecars
+                    and path.suffix == self.ARTIFACT_DIGEST_SUFFIX):
+                continue
+            yield path
 
     def _stray_tmp_files(self):
         """Orphaned ``.tmp`` files (a writer died mid-``put``)."""
@@ -246,7 +330,7 @@ class ResultCache:
             entries += 1
         artifacts = 0
         artifact_bytes = 0
-        for path in self._artifact_files():
+        for path in self._artifact_files(include_sidecars=False):
             try:
                 artifact_bytes += path.stat().st_size
             except OSError:
@@ -257,7 +341,8 @@ class ResultCache:
 
     def clear(self) -> int:
         """Delete every stored result and artifact (plus any orphaned
-        temp files); returns the count of files removed."""
+        temp files and quarantined blobs); returns the count of files
+        removed (integrity sidecars ride along uncounted)."""
         removed = 0
         for blob in list(self._blobs()):
             try:
@@ -265,12 +350,25 @@ class ResultCache:
             except OSError:
                 continue
             removed += 1
+        if self.quarantine_dir.is_dir():
+            for path in list(self._walk(self.quarantine_dir, "*")):
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+            try:
+                self.quarantine_dir.rmdir()
+            except OSError:
+                pass
         for path in list(self._artifact_files()):
+            counted = path.suffix != self.ARTIFACT_DIGEST_SUFFIX
             try:
                 path.unlink()
             except OSError:
                 continue
-            removed += 1
+            if counted:
+                removed += 1
         for path in list(self._stray_tmp_files()):
             try:
                 path.unlink()
@@ -292,6 +390,149 @@ class ResultCache:
                 except OSError:
                     pass
         return removed
+
+
+class TieredResultCache:
+    """Three-tier store: in-memory hot LRU -> local disk -> shared.
+
+    The cluster's cache hierarchy.  ``get`` walks the tiers in order
+    and *promotes* hits forward (a shared-store hit is copied into the
+    local store and pinned in the hot set, so the next read never
+    leaves the node); ``put`` writes through every tier, which is what
+    makes a result computed by one worker visible to the whole fleet
+    via the shared directory.
+
+    The memory tier is bounded (``memory_capacity`` entries, LRU) and
+    thread-safe; the disk tiers inherit :class:`ResultCache`'s atomic
+    multi-process-safe writes.  ``clear`` empties the node-local tiers
+    only -- the shared store belongs to the fleet, not this node.
+
+    Exposes the full :class:`ResultCache` surface (``get``/``put``/
+    artifacts/``stats``/``clear``/``root``), so every existing
+    consumer -- the serve fast path, the worker tier, ``run_jobs`` --
+    can take one interchangeably.
+    """
+
+    def __init__(self, local: Optional[ResultCache] = None,
+                 shared: Optional[ResultCache] = None,
+                 memory_capacity: int = 512):
+        self.local = local if local is not None else ResultCache()
+        self.shared = shared
+        self.memory_capacity = max(0, int(memory_capacity))
+        self._hot: "OrderedDict[str, Any]" = OrderedDict()
+        self._hot_lock = threading.Lock()
+        self.tier_hits = {"memory": 0, "local": 0, "shared": 0}
+
+    @classmethod
+    def from_roots(cls, local_root: Optional[os.PathLike] = None,
+                   shared_root: Optional[os.PathLike] = None,
+                   memory_capacity: int = 512) -> "TieredResultCache":
+        shared = ResultCache(shared_root) if shared_root is not None else None
+        return cls(ResultCache(local_root), shared,
+                   memory_capacity=memory_capacity)
+
+    @property
+    def root(self) -> Path:
+        """The node-local root (what worker processes are handed)."""
+        return self.local.root
+
+    @property
+    def shared_root(self) -> Optional[Path]:
+        return None if self.shared is None else self.shared.root
+
+    # ------------------------------------------------------------------
+    # memory tier
+
+    def _hot_get(self, key: str) -> Optional[Any]:
+        if not self.memory_capacity:
+            return None
+        with self._hot_lock:
+            try:
+                self._hot.move_to_end(key)
+            except KeyError:
+                return None
+            return self._hot[key]
+
+    def _hot_put(self, key: str, result: Any) -> None:
+        if not self.memory_capacity:
+            return
+        with self._hot_lock:
+            self._hot[key] = result
+            self._hot.move_to_end(key)
+            while len(self._hot) > self.memory_capacity:
+                self._hot.popitem(last=False)
+
+    @property
+    def hot_keys(self) -> int:
+        with self._hot_lock:
+            return len(self._hot)
+
+    # ------------------------------------------------------------------
+    # results
+
+    def get(self, key: str) -> Optional[Any]:
+        hit = self._hot_get(key)
+        if hit is not None:
+            self.tier_hits["memory"] += 1
+            return hit
+        record = self.local.get_record(key)
+        if record is not None:
+            self.tier_hits["local"] += 1
+            self._hot_put(key, record["result"])
+            return record["result"]
+        if self.shared is not None:
+            record = self.shared.get_record(key)
+            if record is not None:
+                self.tier_hits["shared"] += 1
+                # promote: next read is local-disk (or memory) fast
+                self.local.put(key, record.get("fn", "?"), record["result"])
+                self._hot_put(key, record["result"])
+                return record["result"]
+        return None
+
+    def put(self, key: str, fn: str, result: Any) -> Path:
+        path = self.local.put(key, fn, result)
+        if self.shared is not None:
+            self.shared.put(key, fn, result)
+        self._hot_put(key, result)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    # ------------------------------------------------------------------
+    # artifacts (disk tiers only -- artifacts can be megabytes)
+
+    def put_artifact(self, key: str, name: str, data) -> Path:
+        path = self.local.put_artifact(key, name, data)
+        if self.shared is not None:
+            self.shared.put_artifact(key, name, data)
+        return path
+
+    def get_artifact(self, key: str, name: str) -> Optional[bytes]:
+        blob = self.local.get_artifact(key, name)
+        if blob is not None:
+            return blob
+        if self.shared is not None:
+            blob = self.shared.get_artifact(key, name)
+            if blob is not None:
+                self.local.put_artifact(key, name, blob)
+        return blob
+
+    def artifact_path(self, key: str, name: str) -> Path:
+        return self.local.artifact_path(key, name)
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Node-local footprint (the shared store is the fleet's)."""
+        return self.local.stats()
+
+    def clear(self) -> int:
+        """Clear the node-local tiers; the shared store is untouched."""
+        with self._hot_lock:
+            self._hot.clear()
+        return self.local.clear()
 
 
 class NullCache:

@@ -8,7 +8,17 @@ or stream until terminal, fetch artifacts.
 :class:`Backpressure` is a typed signal, not a failure --
 :meth:`ServeClient.submit_and_wait` honours the server's
 ``Retry-After`` estimate and retries a bounded number of times before
-giving up.
+giving up.  Every deadline the client enforces (``wait``'s timeout,
+the backpressure backoff) is clamped against the caller's remaining
+budget on the monotonic clock, and ``timeout=0`` means exactly one
+non-blocking check.
+
+Cluster mode: constructed with ``endpoints=["hostA:8786",
+"hostB:8786"]`` the client talks to whichever endpoint answers,
+failing over to the next on a transport error (connection refused,
+reset) and staying sticky on the one that worked.  HTTP error
+*documents* (429, 409, ...) come from a live server and do not
+trigger failover.
 """
 
 from __future__ import annotations
@@ -16,7 +26,9 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+_TERMINAL = ("done", "failed", "timeout", "cancelled")
 
 
 class ServeError(RuntimeError):
@@ -36,20 +48,61 @@ class Backpressure(ServeError):
         self.retry_after = retry_after
 
 
+def _parse_endpoint(endpoint: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    if isinstance(endpoint, str):
+        host, _, port = endpoint.rpartition(":")
+        return host or "127.0.0.1", int(port)
+    host, port = endpoint
+    return host, int(port)
+
+
 class ServeClient:
-    """Synchronous HTTP client for one service endpoint."""
+    """Synchronous HTTP client for one service (or a fleet of them)."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
-                 timeout: float = 300.0):
-        self.host = host
-        self.port = port
+                 timeout: float = 300.0,
+                 endpoints: Optional[
+                     Sequence[Union[str, Tuple[str, int]]]] = None):
+        if endpoints:
+            self._endpoints: List[Tuple[str, int]] = [
+                _parse_endpoint(e) for e in endpoints]
+        else:
+            self._endpoints = [(host, int(port))]
+        self._active = 0
         self.timeout = timeout
+
+    @property
+    def host(self) -> str:
+        return self._endpoints[self._active][0]
+
+    @property
+    def port(self) -> int:
+        return self._endpoints[self._active][1]
+
+    @property
+    def endpoints(self) -> List[Tuple[str, int]]:
+        return list(self._endpoints)
 
     # ------------------------------------------------------------------
     # plumbing
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One exchange with transport-level failover: a connection
+        error rotates to the next endpoint; an HTTP error document is
+        from a live server and propagates as-is."""
+        last_exc: Optional[Exception] = None
+        for _ in range(len(self._endpoints)):
+            try:
+                return self._request_one(method, path, body)
+            except (OSError, http.client.HTTPException) as exc:
+                last_exc = exc
+                self._active = (self._active + 1) % len(self._endpoints)
+        raise ConnectionError(
+            f"no endpoint answered {method} {path}: {last_exc}")
+
+    def _request_one(self, method: str, path: str,
+                     body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
@@ -149,23 +202,40 @@ class ServeClient:
 
     def wait(self, job_id: str, timeout: Optional[float] = None,
              poll: float = 0.05) -> Dict[str, Any]:
-        """Poll until the job record is terminal; returns the record."""
+        """Poll until the job record is terminal; returns the record.
+
+        ``timeout=0`` is a single non-blocking check: one status poll,
+        then the record (if terminal) or an immediate
+        :class:`TimeoutError` -- never a sleep.  With a positive
+        timeout the sleep between polls is clamped to the remaining
+        budget, so the call returns within ``timeout`` plus one poll's
+        network latency rather than overshooting by a whole interval.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             record = self.status(job_id)
-            if record.get("status") in ("done", "failed", "timeout",
-                                        "cancelled"):
+            if record.get("status") in _TERMINAL:
                 return record
-            if deadline is not None and time.monotonic() > deadline:
-                raise TimeoutError(
-                    f"job {job_id} still {record.get('status')} after "
-                    f"{timeout}s")
-            time.sleep(poll)
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still {record.get('status')} after "
+                        f"{timeout}s")
+                time.sleep(min(poll, remaining))
+            else:
+                time.sleep(poll)
 
     def submit_and_wait(self, spec: Dict[str, Any],
                         timeout: Optional[float] = None,
                         backpressure_retries: int = 5) -> Dict[str, Any]:
-        """Submit with bounded backpressure retries, then wait."""
+        """Submit with bounded backpressure retries, then wait.
+
+        ``timeout`` bounds the *whole* call: backpressure backoff
+        sleeps are clamped to the remaining budget (a 30 s Retry-After
+        cannot blow through a 5 s deadline), and whatever budget the
+        retries consumed is deducted from the wait."""
+        deadline = None if timeout is None else time.monotonic() + timeout
         attempts = 0
         while True:
             try:
@@ -175,7 +245,17 @@ class ServeClient:
                 attempts += 1
                 if attempts > backpressure_retries:
                     raise
-                time.sleep(min(exc.retry_after, 10.0))
-        if record.get("status") in ("done", "failed", "timeout", "cancelled"):
+                delay = min(exc.retry_after, 10.0)
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"queue stayed full past the {timeout}s "
+                            f"deadline") from exc
+                    delay = min(delay, remaining)
+                time.sleep(delay)
+        if record.get("status") in _TERMINAL:
             return record
-        return self.wait(record["id"], timeout=timeout)
+        remaining_t = (None if deadline is None
+                       else max(0.0, deadline - time.monotonic()))
+        return self.wait(record["id"], timeout=remaining_t)

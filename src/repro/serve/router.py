@@ -1,0 +1,133 @@
+"""Key-space routing for the worker fleet: rendezvous hashing.
+
+The coordinator must map every job key (a schema-versioned SHA-256
+content hash, see :meth:`repro.harness.job.Job.key`) to one worker so
+that identical submissions land on the same node -- worker-side
+coalescing and the worker's local cache then do the rest.  Rendezvous
+(highest-random-weight) hashing gives exactly the property a fleet
+with churn needs: for each key, score every live worker with
+``sha256(worker_id || key)`` and pick the maximum.  Adding or
+evicting one worker moves only the keys that worker owned (~1/N of
+the space); every other key keeps its assignment, so a mid-sweep
+eviction reroutes only the dead node's share.
+
+:class:`WorkerNode` carries the liveness bookkeeping the coordinator's
+health loop maintains: consecutive probe failures, jobs forwarded,
+and an ``alive`` flag flipped by eviction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+
+class WorkerNode:
+    """One registered worker endpoint plus its health bookkeeping."""
+
+    __slots__ = ("host", "port", "alive", "failures", "forwarded",
+                 "registered_at_mono", "last_seen_mono")
+
+    def __init__(self, host: str, port: int,
+                 now_mono: float = 0.0):
+        self.host = host
+        self.port = int(port)
+        self.alive = True
+        self.failures = 0          # consecutive failed health probes
+        self.forwarded = 0         # jobs routed here (lifetime)
+        self.registered_at_mono = now_mono
+        self.last_seen_mono = now_mono
+
+    @property
+    def node_id(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "id": self.node_id,
+            "host": self.host,
+            "port": self.port,
+            "alive": self.alive,
+            "failures": self.failures,
+            "forwarded": self.forwarded,
+        }
+
+
+class RendezvousRouter:
+    """Highest-random-weight assignment of job keys to live workers."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, WorkerNode] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+
+    def add(self, host: str, port: int, now_mono: float = 0.0) -> WorkerNode:
+        """Register (or re-register) a worker; idempotent upsert.
+
+        A re-registration resurrects an evicted node -- the worker
+        restarting and phoning home again is the recovery path."""
+        node_id = f"{host}:{int(port)}"
+        node = self._nodes.get(node_id)
+        if node is None:
+            node = WorkerNode(host, int(port), now_mono)
+            self._nodes[node_id] = node
+        else:
+            node.alive = True
+            node.failures = 0
+            node.last_seen_mono = now_mono
+        return node
+
+    def evict(self, node_id: str) -> bool:
+        """Mark a worker dead; its key share reroutes on the next
+        :meth:`route` call.  ``False`` when unknown/already dead."""
+        node = self._nodes.get(node_id)
+        if node is None or not node.alive:
+            return False
+        node.alive = False
+        return True
+
+    def get(self, node_id: str) -> Optional[WorkerNode]:
+        return self._nodes.get(node_id)
+
+    @property
+    def nodes(self) -> List[WorkerNode]:
+        """Every known worker, dead ones included (stable order)."""
+        return [self._nodes[k] for k in sorted(self._nodes)]
+
+    @property
+    def live_nodes(self) -> List[WorkerNode]:
+        return [n for n in self.nodes if n.alive]
+
+    def __len__(self) -> int:
+        return len(self.live_nodes)
+
+    # ------------------------------------------------------------------
+    # routing
+
+    @staticmethod
+    def _score(node_id: str, key: str) -> int:
+        digest = hashlib.sha256(f"{node_id}|{key}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def route(self, key: str) -> Optional[WorkerNode]:
+        """The live worker owning ``key``, or ``None`` with no fleet."""
+        best: Optional[WorkerNode] = None
+        best_score = -1
+        for node in self._nodes.values():
+            if not node.alive:
+                continue
+            score = self._score(node.node_id, key)
+            if score > best_score:
+                best, best_score = node, score
+        return best
+
+    def ranked(self, key: str) -> List[WorkerNode]:
+        """Live workers by descending preference for ``key`` --
+        position 0 is :meth:`route`'s answer, the rest are the
+        failover order a re-dispatch walks after an eviction."""
+        return sorted(
+            (n for n in self._nodes.values() if n.alive),
+            key=lambda n: self._score(n.node_id, key),
+            reverse=True,
+        )

@@ -21,6 +21,21 @@ Shutdown is a drain, not an abort: ``request_drain()`` flips the
 service to refuse new submissions (503), closes the queue so runners
 exit once it is empty, lets in-flight work finish, then closes the
 listener and the worker tier.
+
+Two clocks, deliberately: **wall-clock** timestamps
+(``submitted_at``/``started_at``/``finished_at``) appear in the JSON
+record for operators to correlate with logs, while every *duration*
+the service computes -- queue wait, job latency, the histogram feed --
+comes from ``time.monotonic()`` captured at the same edges, so an NTP
+step can skew a displayed timestamp but never a latency metric.
+
+Cluster mode: constructed with a ``coordinator_url`` the service is a
+*worker node* -- it registers itself with the coordinator on start
+and re-registers on a heartbeat interval (registration doubles as the
+liveness signal and as recovery after an eviction), and submissions
+relayed by the coordinator arrive on the same ``POST /v1/jobs`` route
+flagged ``?forwarded=1`` so ``/metrics`` can tell fleet traffic from
+direct traffic.  See :mod:`repro.serve.cluster` for the coordinator.
 """
 
 from __future__ import annotations
@@ -31,8 +46,10 @@ import json
 import signal
 import time
 from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
 
-from repro.harness.cache import ResultCache
+from repro.harness.cache import ResultCache, TieredResultCache
+from repro.serve.http import FetchError, http_fetch, read_request, respond
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.queue import BoundedPriorityQueue, QueueClosed, QueueFull
 from repro.serve.spec import ExperimentSpec, SpecError
@@ -46,15 +63,26 @@ TIMEOUT_GRACE_S = 10.0
 #: Ceiling for specs that declare no timeout of their own.
 DEFAULT_JOB_CEILING_S = 600.0
 
+#: How often a cluster worker re-registers with its coordinator.
+HEARTBEAT_INTERVAL_S = 2.0
+
 _TERMINAL = ("done", "failed", "timeout", "cancelled")
 
 
 class JobRecord:
-    """Server-side state for one logical job (possibly many waiters)."""
+    """Server-side state for one logical job (possibly many waiters).
+
+    Wall-clock timestamps (``*_at``) are display-only; the paired
+    ``*_mono`` fields carry the same edges on the monotonic clock and
+    are the only inputs to latency accounting, so a stepped system
+    clock (NTP correction, manual set) cannot produce negative or
+    inflated durations.
+    """
 
     __slots__ = ("job_id", "spec", "key", "status", "result", "error",
-                 "submitted_at", "started_at", "finished_at", "coalesced",
-                 "source", "done_event", "subscribers")
+                 "submitted_at", "started_at", "finished_at",
+                 "submitted_mono", "started_mono", "finished_mono",
+                 "coalesced", "source", "done_event", "subscribers")
 
     def __init__(self, job_id: str, spec: ExperimentSpec, source: str):
         self.job_id = job_id
@@ -66,6 +94,9 @@ class JobRecord:
         self.submitted_at = time.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        self.submitted_mono = time.monotonic()
+        self.started_mono: Optional[float] = None
+        self.finished_mono: Optional[float] = None
         self.coalesced = 0           # submissions that attached to this record
         self.source = source         # queued | coalesced | cache
         self.done_event = asyncio.Event()
@@ -74,6 +105,18 @@ class JobRecord:
     @property
     def terminal(self) -> bool:
         return self.status in _TERMINAL
+
+    def latency_s(self) -> float:
+        """Submission-to-now (or -finish) on the monotonic clock."""
+        end = (self.finished_mono if self.finished_mono is not None
+               else time.monotonic())
+        return max(0.0, end - self.submitted_mono)
+
+    def queue_wait_s(self) -> Optional[float]:
+        """Queue-admission to execution-start, monotonic."""
+        if self.started_mono is None:
+            return None
+        return max(0.0, self.started_mono - self.submitted_mono)
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -108,8 +151,49 @@ class JobRecord:
         self.result = result
         self.error = error
         self.finished_at = time.time()
+        self.finished_mono = time.monotonic()
         self.done_event.set()
         self.publish("finished", error=error)
+
+
+async def stream_record_events(record: JobRecord,
+                               writer: asyncio.StreamWriter) -> None:
+    """NDJSON lifecycle stream for one record; ends with an ``end``
+    event carrying the terminal record.  Shared by the single-node
+    service and the cluster coordinator."""
+    headers = ("HTTP/1.1 200 OK\r\n"
+               "Content-Type: application/x-ndjson\r\n"
+               "Connection: close\r\n\r\n")
+    writer.write(headers.encode())
+
+    def line(doc: Dict[str, Any]) -> bytes:
+        return (json.dumps(doc, sort_keys=True) + "\n").encode()
+
+    writer.write(line({"event": "snapshot", **record.to_json()}))
+    await writer.drain()
+    if not record.terminal:
+        sub: asyncio.Queue = asyncio.Queue(maxsize=256)
+        record.subscribers.append(sub)
+        try:
+            while not record.terminal:
+                getter = asyncio.create_task(sub.get())
+                waiter = asyncio.create_task(record.done_event.wait())
+                done, pending = await asyncio.wait(
+                    {getter, waiter},
+                    return_when=asyncio.FIRST_COMPLETED)
+                for task in pending:
+                    task.cancel()
+                if getter in done:
+                    writer.write(line(getter.result()))
+                    await writer.drain()
+            # flush whatever arrived before the terminal edge
+            while not sub.empty():
+                writer.write(line(sub.get_nowait()))
+        finally:
+            if sub in record.subscribers:
+                record.subscribers.remove(sub)
+    writer.write(line({"event": "end", "record": record.to_json()}))
+    await writer.drain()
 
 
 class ExperimentService:
@@ -118,20 +202,36 @@ class ExperimentService:
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
                  workers: int = 2, queue_capacity: int = 64,
                  cache: Optional[ResultCache] = None,
-                 worker_mode: str = "process"):
+                 worker_mode: str = "process",
+                 shared_store: Optional[str] = None,
+                 coordinator_url: Optional[str] = None,
+                 advertise_host: Optional[str] = None):
         self.host = host
         self.port = port
-        self.cache = cache if cache is not None else ResultCache()
+        if shared_store is not None and not isinstance(cache,
+                                                       TieredResultCache):
+            # Promote the local store to the cluster tiering: memory
+            # hot set in front, shared read-through store behind.
+            local = cache if cache is not None else ResultCache()
+            self.cache: Any = TieredResultCache(
+                local, ResultCache(shared_store))
+        else:
+            self.cache = cache if cache is not None else ResultCache()
+        shared_root = getattr(self.cache, "shared_root", None)
         self.queue = BoundedPriorityQueue(capacity=queue_capacity)
         self.tier = WorkerTier(workers=workers, cache_root=self.cache.root,
-                               mode=worker_mode)
+                               mode=worker_mode, shared_root=shared_root)
         self.metrics = ServiceMetrics()
         self.jobs: Dict[str, JobRecord] = {}       # id -> record (all)
         self.active: Dict[str, JobRecord] = {}     # key -> in-flight record
         self.draining = False
+        self.coordinator_url = coordinator_url
+        self.advertise_host = advertise_host
+        self.registered = False        # last heartbeat reached coordinator
         self._job_ids = itertools.count(1)
         self._server: Optional[asyncio.base_events.Server] = None
         self._runners: List[asyncio.Task] = []
+        self._heartbeat: Optional[asyncio.Task] = None
         self._drained = asyncio.Event()
         self._runner_count = max(1, int(workers))
 
@@ -147,12 +247,17 @@ class ExperimentService:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.coordinator_url:
+            self._heartbeat = asyncio.create_task(
+                self._register_loop(), name="serve-register")
 
     async def request_drain(self) -> None:
         """Graceful shutdown: refuse new work, finish accepted work."""
         if self.draining:
             return
         self.draining = True
+        if self._heartbeat is not None:
+            self._heartbeat.cancel()
         await self.queue.close()
         if self._runners:
             await asyncio.gather(*self._runners, return_exceptions=True)
@@ -161,6 +266,42 @@ class ExperimentService:
             await self._server.wait_closed()
         self.tier.shutdown(wait=True)
         self._drained.set()
+
+    # ------------------------------------------------------------------
+    # cluster-worker registration
+
+    def _advertised(self) -> Tuple[str, int]:
+        host = self.advertise_host or self.host
+        if host in ("0.0.0.0", "::"):
+            host = "127.0.0.1"
+        return host, self.port
+
+    async def _register_once(self) -> bool:
+        """One registration heartbeat; ``True`` when the coordinator
+        acknowledged."""
+        parsed = urlparse(self.coordinator_url
+                          if "//" in str(self.coordinator_url)
+                          else f"http://{self.coordinator_url}")
+        host, port = parsed.hostname or "127.0.0.1", parsed.port or 8786
+        ad_host, ad_port = self._advertised()
+        try:
+            status, _doc = await http_fetch(
+                host, port, "POST", "/v1/workers/register",
+                body={"host": ad_host, "port": ad_port,
+                      "workers": self.tier.workers},
+                timeout=10.0)
+        except FetchError:
+            return False
+        return status == 200
+
+    async def _register_loop(self) -> None:
+        """Register on start, then heartbeat forever.  The coordinator
+        treats every beat as an idempotent upsert, so a worker that
+        was evicted (crash, partition) rejoins the fleet simply by
+        being heard from again."""
+        while not self.draining:
+            self.registered = await self._register_once()
+            await asyncio.sleep(HEARTBEAT_INTERVAL_S)
 
     async def wait_drained(self) -> None:
         await self._drained.wait()
@@ -206,26 +347,38 @@ class ExperimentService:
             return record, True
 
         # 3. Enqueue (bounded: QueueFull propagates as HTTP 429).
-        record = self._new_record(spec, "queued")
+        # The record is registered only after the queue accepts it: a
+        # refused submission must not leak a phantom forever-"queued"
+        # record into the job table (un-cancellable, never terminal --
+        # a waiter that found it would poll for the rest of its life).
+        record = JobRecord(f"j{next(self._job_ids):06d}", spec, "queued")
         retry_after = max(1.0, len(self.queue) * 0.5)
         self.queue.put_nowait(spec.priority, record, retry_after=retry_after)
+        self.jobs[record.job_id] = record
         self.active[key] = record
         self.metrics.submitted(spec.kind, key)
         return record, True
 
     def cancel(self, record: JobRecord) -> bool:
         """Cancel a still-queued job; running jobs are not interrupted
-        (worker processes are shared -- a SIGKILL would break the pool)."""
+        (worker processes are shared -- a SIGKILL would break the pool).
+
+        Cancelling transitions *every* attached waiter: submissions
+        that coalesced onto this record share it, so the one
+        ``finish`` below is their terminal edge too -- event streams
+        get ``finished`` + ``end``, pollers see ``cancelled``.  A
+        "queued" record the queue no longer holds (it should not
+        happen; defensive) is finished as cancelled rather than left
+        in limbo answering 409 forever.
+        """
         if record.terminal or record.status == "running":
             return False
-        removed = self.queue.remove(record)
-        if removed:
-            self.active.pop(record.key, None)
-            record.finish("cancelled", error="cancelled while queued")
-            self.metrics.finished(record.spec.describe(), record.key,
-                                  "cancelled",
-                                  time.time() - record.submitted_at)
-        return removed
+        self.queue.remove(record)
+        self.active.pop(record.key, None)
+        record.finish("cancelled", error="cancelled while queued")
+        self.metrics.finished(record.spec.describe(), record.key,
+                              "cancelled", record.latency_s())
+        return True
 
     # ------------------------------------------------------------------
     # execution
@@ -249,6 +402,7 @@ class ExperimentService:
         spec = record.spec
         record.status = "running"
         record.started_at = time.time()
+        record.started_mono = time.monotonic()
         record.publish("started")
         self.metrics.started(spec.kind, record.key)
         loop = asyncio.get_running_loop()
@@ -272,8 +426,7 @@ class ExperimentService:
             self.active.pop(record.key, None)
             record.finish(status, result=result, error=error)
             self.metrics.finished(
-                spec.describe(), record.key, status,
-                record.finished_at - record.submitted_at)
+                spec.describe(), record.key, status, record.latency_s())
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -295,59 +448,10 @@ class ExperimentService:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    @staticmethod
-    async def _read_request(
-        reader: asyncio.StreamReader,
-    ) -> Optional[Tuple[str, str, bytes]]:
-        try:
-            head = await asyncio.wait_for(
-                reader.readuntil(b"\r\n\r\n"), timeout=30.0)
-        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
-            return None
-        lines = head.decode("latin-1").split("\r\n")
-        try:
-            method, path, _version = lines[0].split(" ", 2)
-        except ValueError:
-            return None
-        length = 0
-        for line in lines[1:]:
-            name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    length = int(value.strip())
-                except ValueError:
-                    return None
-        body = b""
-        if length:
-            if length > 8 * 1024 * 1024:
-                return None
-            body = await asyncio.wait_for(
-                reader.readexactly(length), timeout=30.0)
-        return method.upper(), path, body
-
-    @staticmethod
-    async def _respond(writer: asyncio.StreamWriter, status: int,
-                       payload: Any, *, content_type: str = "application/json",
-                       extra_headers: Tuple[Tuple[str, str], ...] = ()) -> None:
-        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                   404: "Not Found", 405: "Method Not Allowed",
-                   409: "Conflict", 429: "Too Many Requests",
-                   503: "Service Unavailable"}
-        if isinstance(payload, (dict, list)):
-            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
-        elif isinstance(payload, str):
-            body = payload.encode()
-        else:
-            body = payload
-        headers = [
-            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(body)}",
-            "Connection: close",
-        ]
-        headers.extend(f"{name}: {value}" for name, value in extra_headers)
-        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + body)
-        await writer.drain()
+    # request framing and response writing live in repro.serve.http,
+    # shared with the cluster coordinator
+    _read_request = staticmethod(read_request)
+    _respond = staticmethod(respond)
 
     async def _route(self, method: str, path: str, body: bytes,
                      writer: asyncio.StreamWriter) -> None:
@@ -364,7 +468,9 @@ class ExperimentService:
             return
 
         if method == "POST" and len(parts) == 2:
-            await self._post_job(body, writer)
+            query = parse_qs(urlparse(path).query)
+            forwarded = query.get("forwarded", ["0"])[0] in ("1", "true")
+            await self._post_job(body, writer, forwarded=forwarded)
             return
         if method == "GET" and len(parts) == 2:
             listing = [r.to_json() for r in self.jobs.values()]
@@ -400,8 +506,8 @@ class ExperimentService:
     # ------------------------------------------------------------------
     # route bodies
 
-    async def _post_job(self, body: bytes,
-                        writer: asyncio.StreamWriter) -> None:
+    async def _post_job(self, body: bytes, writer: asyncio.StreamWriter,
+                        forwarded: bool = False) -> None:
         try:
             doc = json.loads(body.decode("utf-8") or "null")
         except (UnicodeDecodeError, ValueError):
@@ -413,6 +519,8 @@ class ExperimentService:
             self.metrics.rejected("invalid")
             await self._respond(writer, 400, {"error": str(exc)})
             return
+        if forwarded:
+            self.metrics.forwarded(spec.kind, spec.key())
         try:
             record, created = self.submit(spec)
         except QueueFull as exc:
@@ -435,43 +543,9 @@ class ExperimentService:
         await self._respond(writer, status,
                             {"coalesced": not created, **record.to_json()})
 
-    async def _stream_events(self, record: JobRecord,
-                             writer: asyncio.StreamWriter) -> None:
-        """NDJSON lifecycle stream; ends with an ``end`` event carrying
-        the terminal record."""
-        headers = ("HTTP/1.1 200 OK\r\n"
-                   "Content-Type: application/x-ndjson\r\n"
-                   "Connection: close\r\n\r\n")
-        writer.write(headers.encode())
-
-        def line(doc: Dict[str, Any]) -> bytes:
-            return (json.dumps(doc, sort_keys=True) + "\n").encode()
-
-        writer.write(line({"event": "snapshot", **record.to_json()}))
-        await writer.drain()
-        if not record.terminal:
-            sub: asyncio.Queue = asyncio.Queue(maxsize=256)
-            record.subscribers.append(sub)
-            try:
-                while not record.terminal:
-                    getter = asyncio.create_task(sub.get())
-                    waiter = asyncio.create_task(record.done_event.wait())
-                    done, pending = await asyncio.wait(
-                        {getter, waiter},
-                        return_when=asyncio.FIRST_COMPLETED)
-                    for task in pending:
-                        task.cancel()
-                    if getter in done:
-                        writer.write(line(getter.result()))
-                        await writer.drain()
-                # flush whatever arrived before the terminal edge
-                while not sub.empty():
-                    writer.write(line(sub.get_nowait()))
-            finally:
-                if sub in record.subscribers:
-                    record.subscribers.remove(sub)
-        writer.write(line({"event": "end", "record": record.to_json()}))
-        await writer.drain()
+    # shared with the cluster coordinator (same record type, same
+    # NDJSON contract)
+    _stream_events = staticmethod(stream_record_events)
 
     async def _get_artifact(self, record: JobRecord, name: str,
                             writer: asyncio.StreamWriter) -> None:
@@ -493,7 +567,7 @@ class ExperimentService:
 
     def _healthz(self) -> Dict[str, Any]:
         status = "draining" if self.draining else "ok"
-        return {
+        doc: Dict[str, Any] = {
             "status": status,
             "queue_depth": len(self.queue),
             "queue_capacity": self.queue.capacity,
@@ -503,6 +577,14 @@ class ExperimentService:
             "jobs_tracked": len(self.jobs),
             "in_flight": len(self.active),
         }
+        if self.coordinator_url is not None:
+            doc["coordinator"] = self.coordinator_url
+            doc["registered"] = self.registered
+        shared_root = getattr(self.cache, "shared_root", None)
+        if shared_root is not None:
+            doc["shared_store"] = str(shared_root)
+            doc["cache_tier_hits"] = dict(self.cache.tier_hits)
+        return doc
 
     def _metrics_doc(self) -> Dict[str, Any]:
         return self.metrics.to_json(
@@ -533,9 +615,15 @@ async def serve_forever(service: ExperimentService) -> None:
 def run_server(host: str = "127.0.0.1", port: int = 8787, workers: int = 2,
                queue_capacity: int = 64,
                cache: Optional[ResultCache] = None,
-               worker_mode: str = "process") -> None:
+               worker_mode: str = "process",
+               shared_store: Optional[str] = None,
+               coordinator_url: Optional[str] = None,
+               advertise_host: Optional[str] = None) -> None:
     """Blocking entry point (the ``python -m repro serve`` verb)."""
     service = ExperimentService(host=host, port=port, workers=workers,
                                 queue_capacity=queue_capacity, cache=cache,
-                                worker_mode=worker_mode)
+                                worker_mode=worker_mode,
+                                shared_store=shared_store,
+                                coordinator_url=coordinator_url,
+                                advertise_host=advertise_host)
     asyncio.run(serve_forever(service))

@@ -29,17 +29,24 @@ def _worker_probe() -> int:
     return os.getpid()
 
 
-def _worker_entry(payload: Tuple[Dict[str, Any], Optional[str]]) -> Dict[str, Any]:
+def _worker_entry(
+    payload: Tuple[Dict[str, Any], Optional[str], Optional[str]],
+) -> Dict[str, Any]:
     """Top-level (hence picklable) worker entry: revalidate the spec
     document, execute it, flatten any exception to a string record so
     nothing unpicklable crosses back to the server process."""
-    spec_doc, cache_root = payload
-    from repro.harness.cache import ResultCache
+    spec_doc, cache_root, shared_root = payload
+    from repro.harness.cache import ResultCache, TieredResultCache
     from repro.serve.spec import ExperimentSpec
 
     try:
         spec = ExperimentSpec.from_json(spec_doc)
-        cache = ResultCache(cache_root) if cache_root is not None else None
+        if shared_root is not None:
+            cache: Any = TieredResultCache.from_roots(cache_root, shared_root)
+        elif cache_root is not None:
+            cache = ResultCache(cache_root)
+        else:
+            cache = None
         result = spec.execute(cache)
         return {"ok": True, "result": result, "pid": os.getpid()}
     except Exception as exc:  # noqa: BLE001 -- spec code is arbitrary
@@ -55,11 +62,13 @@ class WorkerTier:
 
     def __init__(self, workers: int = 2,
                  cache_root: Optional[os.PathLike] = None,
-                 mode: str = "process"):
+                 mode: str = "process",
+                 shared_root: Optional[os.PathLike] = None):
         if mode not in ("process", "thread"):
             raise ValueError(f"mode must be process|thread, got {mode!r}")
         self.workers = max(1, int(workers))
         self.cache_root = None if cache_root is None else str(cache_root)
+        self.shared_root = None if shared_root is None else str(shared_root)
         self.mode = mode
         self.degraded = False
         self._pool: Optional[Any] = None
@@ -99,7 +108,7 @@ class WorkerTier:
         """Dispatch one spec; returns the worker's record future."""
         if self._pool is None:
             self.start()
-        payload = (spec.as_dict(), self.cache_root)
+        payload = (spec.as_dict(), self.cache_root, self.shared_root)
         try:
             return self._pool.submit(_worker_entry, payload)
         except Exception:

@@ -20,6 +20,7 @@ from repro.harness import (
     NullCache,
     ResultCache,
     Sweep,
+    TieredResultCache,
     TransientJobError,
     canonical_json,
     fingerprint_program,
@@ -186,6 +187,142 @@ def test_cache_blob_is_canonical(tmp_path):
 def test_cache_env_default(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
     assert ResultCache().root == tmp_path / "envcache"
+
+
+# ----------------------------------------------------------------------
+# Cache: corrupt-blob quarantine
+
+
+def test_corrupt_blob_is_quarantined_not_raised(tmp_path):
+    """A truncated/garbled result blob degrades to a miss and is moved
+    aside so the lookup path never re-trips on it."""
+    cache = ResultCache(tmp_path)
+    key = "ab" + "1" * 62
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_text('{"schema": 3, "key": "' + key)  # torn mid-write
+    assert cache.get(key) is None
+    assert not path.exists()
+    quarantined = list(cache.quarantine_dir.iterdir())
+    assert len(quarantined) == 1
+    assert cache.get(key) is None  # clean miss forever after
+
+
+def test_wrong_key_blob_is_quarantined(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "cd" + "1" * 62
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, "key": "ee" + "0" * 62,
+         "result": 5}))
+    assert cache.get(key) is None
+    assert not path.exists()
+    assert list(cache.quarantine_dir.iterdir())
+
+
+def test_truncated_artifact_is_quarantined(tmp_path):
+    """An artifact whose bytes disagree with its integrity sidecar is
+    a miss, and both files land in quarantine."""
+    cache = ResultCache(tmp_path)
+    key = "ef" + "1" * 62
+    path = cache.put_artifact(key, "trace.bin", b"x" * 1024)
+    sidecar = path.with_name("trace.bin" + cache.ARTIFACT_DIGEST_SUFFIX)
+    assert cache.get_artifact(key, "trace.bin") == b"x" * 1024
+    path.write_bytes(b"x" * 100)  # torn copy
+    assert cache.get_artifact(key, "trace.bin") is None
+    assert not path.exists() and not sidecar.exists()
+    assert len(list(cache.quarantine_dir.iterdir())) == 2
+    assert cache.get_artifact(key, "trace.bin") is None
+
+
+def test_legacy_artifact_without_sidecar_is_served(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "01" + "1" * 62
+    path = cache.artifact_path(key, "old.bin")
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"pre-sidecar blob")
+    assert cache.get_artifact(key, "old.bin") == b"pre-sidecar blob"
+
+
+def test_clear_empties_quarantine_and_sidecars(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "23" + "1" * 62
+    bad = cache.path_for(key)
+    bad.parent.mkdir(parents=True)
+    bad.write_text("{torn")
+    assert cache.get(key) is None  # quarantines
+    cache.put(key, "f", {"x": 1})
+    cache.put_artifact(key, "a.bin", b"data")
+    removed = cache.clear()
+    # result blob + artifact + quarantined blob (sidecar uncounted)
+    assert removed == 3
+    assert not cache.quarantine_dir.exists()
+    assert cache.stats().entries == 0
+    assert cache.stats().artifacts == 0
+
+
+# ----------------------------------------------------------------------
+# Cache: cluster tiering (memory -> local disk -> shared)
+
+
+def test_tiered_cache_reads_through_and_promotes(tmp_path):
+    shared = ResultCache(tmp_path / "shared")
+    tiered = TieredResultCache(ResultCache(tmp_path / "local"), shared)
+    key = "45" + "1" * 62
+    shared.put(key, "f", {"who": "other-node"})
+    # first read walks to the shared tier...
+    assert tiered.get(key) == {"who": "other-node"}
+    assert tiered.tier_hits["shared"] == 1
+    # ...and promotes: now on local disk and in the hot set
+    assert tiered.local.get(key) == {"who": "other-node"}
+    assert tiered.get(key) == {"who": "other-node"}
+    assert tiered.tier_hits["memory"] == 1
+
+
+def test_tiered_cache_writes_through_every_tier(tmp_path):
+    tiered = TieredResultCache.from_roots(
+        tmp_path / "local", tmp_path / "shared")
+    key = "67" + "1" * 62
+    tiered.put(key, "f", {"x": 9})
+    assert tiered.local.get(key) == {"x": 9}
+    assert tiered.shared.get(key) == {"x": 9}
+    # a sibling node sharing the store sees the result
+    sibling = TieredResultCache.from_roots(
+        tmp_path / "other-local", tmp_path / "shared")
+    assert sibling.get(key) == {"x": 9}
+    assert sibling.tier_hits["shared"] == 1
+
+
+def test_tiered_cache_memory_tier_is_bounded_lru(tmp_path):
+    tiered = TieredResultCache.from_roots(
+        tmp_path / "local", None, memory_capacity=2)
+    keys = [f"{i:02d}" + "2" * 62 for i in range(3)]
+    for i, key in enumerate(keys):
+        tiered.put(key, "f", {"i": i})
+    assert tiered.hot_keys == 2  # oldest evicted from memory...
+    assert tiered.get(keys[0]) == {"i": 0}  # ...but still on disk
+    assert tiered.tier_hits["local"] == 1
+
+
+def test_tiered_cache_clear_leaves_shared_store_alone(tmp_path):
+    tiered = TieredResultCache.from_roots(
+        tmp_path / "local", tmp_path / "shared")
+    key = "89" + "1" * 62
+    tiered.put(key, "f", {"x": 1})
+    tiered.clear()
+    assert tiered.local.get(key) is None
+    assert tiered.shared.get(key) == {"x": 1}  # fleet property, not ours
+    assert tiered.get(key) == {"x": 1}  # read-through refills
+
+
+def test_tiered_cache_promotes_artifacts_from_shared(tmp_path):
+    shared = ResultCache(tmp_path / "shared")
+    tiered = TieredResultCache(ResultCache(tmp_path / "local"), shared)
+    key = "ab" + "2" * 62
+    shared.put_artifact(key, "trace.json", b"[1, 2]")
+    assert tiered.get_artifact(key, "trace.json") == b"[1, 2]"
+    assert tiered.local.get_artifact(key, "trace.json") == b"[1, 2]"
 
 
 # ----------------------------------------------------------------------

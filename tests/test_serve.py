@@ -342,6 +342,188 @@ def test_cancel_queued_job(tmp_path):
         client.wait(blocker["id"], timeout=120)
 
 
+# ----------------------------------------------------------------------
+# timing: latencies ride the monotonic clock, never the wall clock
+
+
+def test_latency_survives_backward_wall_clock_step(monkeypatch):
+    """An NTP step (wall clock jumps 1h backward mid-job) skews the
+    display timestamps but must never produce a negative latency."""
+    import time as _time
+
+    from repro.serve.server import JobRecord
+
+    spec = ExperimentSpec.from_json(_echo_spec("clock-step"))
+    real_time = _time.time
+    record = JobRecord("j000001", spec, "queued")
+    # the step lands between submission and start
+    monkeypatch.setattr(_time, "time", lambda: real_time() - 3600.0)
+    record.started_at = _time.time()
+    record.started_mono = _time.monotonic()
+    record.finish("done", result={"ok": True})
+    assert record.finished_at < record.submitted_at  # display JSON skews...
+    assert record.latency_s() >= 0.0                 # ...durations do not
+    assert record.queue_wait_s() >= 0.0
+
+
+def test_latency_metrics_ignore_forward_wall_clock_step(monkeypatch):
+    """Symmetric: a forward step must not inflate the histogram feed."""
+    import time as _time
+
+    from repro.serve.server import JobRecord
+
+    spec = ExperimentSpec.from_json(_echo_spec("clock-fwd"))
+    real_time = _time.time
+    record = JobRecord("j000002", spec, "queued")
+    monkeypatch.setattr(_time, "time", lambda: real_time() + 3600.0)
+    record.finish("done", result={})
+    assert record.finished_at - record.submitted_at > 3000  # wall: absurd
+    assert record.latency_s() < 60.0                        # mono: sane
+
+
+# ----------------------------------------------------------------------
+# client deadlines: timeout=0 and backoff clamping
+
+
+def test_wait_timeout_zero_is_single_nonblocking_check(server):
+    import time
+
+    client = server.client()
+    record = client.submit({
+        "kind": "job",
+        "params": {"fn": "debug.sleep",
+                   "params": {"seconds": 1.0, "token": "wait-zero"}},
+    })
+    # poll=5.0: if the buggy full-interval sleep were still there this
+    # would take 5 seconds; a single non-blocking check takes millis.
+    t0 = time.monotonic()
+    with pytest.raises(TimeoutError):
+        client.wait(record["id"], timeout=0, poll=5.0)
+    assert time.monotonic() - t0 < 2.0
+    final = client.wait(record["id"], timeout=60)
+    # terminal record: timeout=0 returns it instead of raising
+    assert client.wait(record["id"], timeout=0)["status"] == final["status"]
+
+
+def test_wait_clamps_poll_sleep_to_remaining_deadline(server):
+    import time
+
+    client = server.client()
+    record = client.submit({
+        "kind": "job",
+        "params": {"fn": "debug.sleep",
+                   "params": {"seconds": 1.5, "token": "wait-clamp"}},
+    })
+    t0 = time.monotonic()
+    with pytest.raises(TimeoutError):
+        client.wait(record["id"], timeout=0.3, poll=5.0)
+    # must overshoot by at most one status poll, not one poll *interval*
+    assert time.monotonic() - t0 < 2.0
+    client.wait(record["id"], timeout=60)
+
+
+def test_submit_and_wait_clamps_backpressure_backoff(tmp_path):
+    import time
+
+    cache = ResultCache(tmp_path / "clamp-cache")
+    with ServerThread(cache=cache, workers=1, queue_capacity=1) as srv:
+        client = srv.client()
+        blockers = []
+        while True:
+            try:
+                blockers.append(client.submit({
+                    "kind": "job",
+                    "params": {"fn": "debug.sleep",
+                               "params": {"seconds": 1.0,
+                                          "token": len(blockers)}},
+                }))
+            except Backpressure:
+                break
+        # The server's Retry-After here is >= 1s; a 0.4s overall budget
+        # must cut the backoff short rather than sleep through it.
+        t0 = time.monotonic()
+        with pytest.raises((TimeoutError, Backpressure)):
+            client.submit_and_wait({
+                "kind": "job",
+                "params": {"fn": "debug.sleep",
+                           "params": {"seconds": 1.0, "token": "late"}},
+            }, timeout=0.4, backpressure_retries=50)
+        assert time.monotonic() - t0 < 1.5
+        for record in blockers:
+            client.wait(record["id"], timeout=120)
+
+
+# ----------------------------------------------------------------------
+# cancellation: every coalesced waiter reaches a terminal state
+
+
+def test_cancel_fans_out_to_all_coalesced_waiters(tmp_path):
+    """Three clients coalesce onto one queued record; one DELETE must
+    terminate all three event streams and all three pollers."""
+    cache = ResultCache(tmp_path / "fanout-cache")
+    with ServerThread(cache=cache, workers=1, queue_capacity=8) as srv:
+        client = srv.client()
+        blocker = client.submit({
+            "kind": "job",
+            "params": {"fn": "debug.sleep",
+                       "params": {"seconds": 2.0, "token": "fan-blocker"}},
+        })
+        first = client.submit(_echo_spec("fan-cancel"))
+        twins = [client.submit(_echo_spec("fan-cancel")) for _ in range(2)]
+        assert all(t["id"] == first["id"] for t in twins)
+
+        ends = [None, None, None]
+
+        def stream(i):
+            events = list(srv.client().events(first["id"]))
+            ends[i] = events[-1]
+
+        streamers = [threading.Thread(target=stream, args=(i,))
+                     for i in range(3)]
+        for t in streamers:
+            t.start()
+        cancelled = client.cancel(first["id"])
+        assert cancelled["status"] == "cancelled"
+        for t in streamers:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in streamers), (
+            "a coalesced waiter's event stream hung after cancellation")
+        for end in ends:
+            assert end["event"] == "end"
+            assert end["record"]["status"] == "cancelled"
+        # pollers see the same terminal state
+        assert client.wait(first["id"], timeout=5)["status"] == "cancelled"
+        client.wait(blocker["id"], timeout=120)
+
+
+def test_backpressure_refusal_leaves_no_phantom_record(tmp_path):
+    """A 429'd submission must not leak a forever-'queued' record into
+    the job table -- such a record can never finish, answers 409 to
+    DELETE, and would make a waiter poll for the rest of its life."""
+    cache = ResultCache(tmp_path / "phantom-cache")
+    with ServerThread(cache=cache, workers=1, queue_capacity=1) as srv:
+        client = srv.client()
+        accepted = []
+        while True:
+            try:
+                accepted.append(client.submit({
+                    "kind": "job",
+                    "params": {"fn": "debug.sleep",
+                               "params": {"seconds": 0.5,
+                                          "token": len(accepted)}},
+                }))
+            except Backpressure:
+                break
+        listed = client.jobs()["jobs"]
+        assert len(listed) == len(accepted)
+        assert {r["id"] for r in listed} == {r["id"] for r in accepted}
+        for record in accepted:
+            client.wait(record["id"], timeout=120)
+        # every tracked record reaches a terminal state: no zombies
+        assert all(r["status"] in ("done", "failed", "timeout", "cancelled")
+                   for r in client.jobs()["jobs"])
+
+
 def test_drain_finishes_accepted_work_and_rejects_new(tmp_path):
     cache = ResultCache(tmp_path / "drain-cache")
     srv = ServerThread(cache=cache, workers=1, queue_capacity=8).start()

@@ -125,6 +125,6 @@ def test_tier_degrades_to_threads_when_pool_unavailable(tmp_path,
 
 def test_worker_entry_flattens_bad_spec_to_error():
     report = _worker_entry(({"kind": "job",
-                             "params": {"fn": "no.such.fn"}}, None))
+                             "params": {"fn": "no.such.fn"}}, None, None))
     assert not report["ok"]
     assert "SpecError" in report["error"]
