@@ -545,7 +545,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.all or not names:
         names = None  # every registered target
     try:
-        run = run_lint(names, cross=args.cross_check)
+        run = run_lint(names, cross=args.cross_check, taint=args.taint)
     except KeyError as exc:
         print(exc.args[0])
         return 2
@@ -656,9 +656,11 @@ def _submit_spec(args: argparse.Namespace) -> dict:
                   "base": {"scale": args.scale}}
         kind = "sweep"
     elif args.experiment == "lint":
-        params = {"targets": None if not args.targets else args.targets}
-        if params["targets"] is None:
-            params = {}
+        params = {}
+        if args.targets:
+            params["targets"] = args.targets
+        if args.taint:
+            params["taint"] = True
         kind = "lint"
     elif args.experiment == "trace":
         params = {"experiment": args.target or "covert"}
@@ -866,6 +868,11 @@ def main(argv=None) -> int:
     p.add_argument("--cross-check", action="store_true",
                    help="also run short simulations and diff predicted "
                         "vs observed dsb_fill events (XC001 on divergence)")
+    p.add_argument("--taint", action="store_true",
+                   help="run the secret-flow taint analysis over targets "
+                        "declaring secrets (TA diagnostics, capacity "
+                        "bounds) and the two-secret XC004 differential "
+                        "where a secret driver exists")
     p.add_argument("--show-info", action="store_true",
                    help="include info-severity diagnostics in the report")
     p.add_argument("--json", metavar="PATH", default=None,
@@ -953,6 +960,9 @@ def main(argv=None) -> int:
     p.add_argument("--scale", type=int, default=1, help="(workloads)")
     p.add_argument("--targets", nargs="*", default=None, metavar="T",
                    help="(lint) target subset")
+    p.add_argument("--taint", action="store_true",
+                   help="(lint) also run the secret-flow taint analysis "
+                        "and the XC004 two-secret differential")
     p.add_argument("--target", default=None, metavar="NAME",
                    help="(trace) experiment name (default covert)")
     p.add_argument("--seed", type=int, default=17)

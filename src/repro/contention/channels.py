@@ -34,6 +34,7 @@ from repro.cpu.noise import NoiseModel
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
 from repro.lint.resources import ITLBClaim, ResourcePairClaim, StoreClaim
+from repro.lint.taint import SecretClaim
 from repro.session import AttackSession
 
 PAGE = 4096
@@ -210,6 +211,15 @@ class ITLBChannel(_EpisodeChannel):
             ResourcePairClaim("tx_one", "rx", "itlb", "conflict"),
             ResourcePairClaim("tx_zero", "rx", "itlb", "disjoint"),
         ]
+        # The Trojan's bit is the choice between the page-walking chain
+        # and the single-page idle loop; the secret-dependent surface
+        # is the tx chain's pages (and fetch regions).
+        self._lint_secrets = [
+            SecretClaim(
+                name="bit", entries=("tx_one", "tx_zero"),
+                leaks_to=("dsb", "itlb"),
+            )
+        ]
         return asm.assemble(entry="rx_epoch")
 
 
@@ -297,5 +307,13 @@ class StoreBufferChannel(_EpisodeChannel):
             StoreClaim("tx_zero", "tx_zero", 0),
             ResourcePairClaim("tx_one", "rx", "store_buffer", "conflict"),
             ResourcePairClaim("tx_zero", "rx", "store_buffer", "disjoint"),
+        ]
+        # The one-bit is a store flood: the secret-dependent surface
+        # includes the flood's store sites, not just its fetch regions.
+        self._lint_secrets = [
+            SecretClaim(
+                name="bit", entries=("tx_one", "tx_zero"),
+                leaks_to=("dsb", "itlb", "sb"),
+            )
         ]
         return asm.assemble(entry="rx_epoch")

@@ -35,6 +35,7 @@ from repro.cpu.noise import NoiseModel
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
 from repro.lint.gadgets import ChainClaim, PairClaim
+from repro.lint.taint import SecretClaim
 from repro.session import AttackSession
 
 RECV_ARENA = 0x44_0000
@@ -177,6 +178,17 @@ class BranchTargetInjection(AttackSession):
         asm.emit(enc.halt())  # may call it architecturally: it is code
         # in the shared address space, like a kernel gadget reached by a
         # confused-deputy attacker)
+
+        # The victim never reaches the gadget architecturally, but the
+        # poisoned predictor does -- so the taint entry point is the
+        # gadget itself, exactly how the paper's gadget scan treats
+        # transiently reachable code.
+        self._lint_secrets = [
+            SecretClaim(
+                name="secret", entry="gadget", label="secret",
+                size=len(self.secret) + 8, leaks_to=("dsb", "itlb"),
+            )
+        ]
 
         return asm.assemble(entry="probe")
 

@@ -26,6 +26,7 @@ from repro.core.timing import ProbeTiming
 from repro.errors import ConfigError
 from repro.isa.assembler import Assembler
 from repro.lint.gadgets import ChainClaim, PairClaim
+from repro.lint.taint import SecretClaim
 from repro.session import AttackSession, read_elapsed
 
 __all__ = [
@@ -152,6 +153,16 @@ class CovertChannel(AttackSession):
         self._lint_pairs = [
             PairClaim("send_one", "probe", "conflict"),
             PairClaim("send_zero", "probe", "disjoint"),
+        ]
+        # The Trojan's secret is the *choice of entry point*: bit 1
+        # runs the tiger, bit 0 the zebra.  The taint analysis takes
+        # the symmetric difference of the two reachable sets as the
+        # secret-dependent fetch surface.
+        self._lint_secrets = [
+            SecretClaim(
+                name="bit", entries=("send_one", "send_zero"),
+                leaks_to=("dsb", "itlb"),
+            )
         ]
         return asm.assemble(entry="probe")
 

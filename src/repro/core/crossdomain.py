@@ -33,6 +33,7 @@ from repro.cpu.noise import NoiseModel
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
 from repro.lint.gadgets import ChainClaim, PairClaim
+from repro.lint.taint import SecretClaim
 from repro.session import AttackSession
 
 SPY_ARENA = 0x44_0000
@@ -113,6 +114,15 @@ class CrossDomainChannel(AttackSession):
             self._lint_pairs.append(
                 PairClaim("k_routine_one", "probe", "conflict")
             )
+        # The kernel's dispatch loads kernel_secret and steers fetch
+        # into the tiger or zebra routine; both sides of the dispatch
+        # are the secret-dependent fetch surface the spy times.
+        self._lint_secrets = [
+            SecretClaim(
+                name="kernel_secret", entry="kernel_entry",
+                label="kernel_secret", leaks_to=("dsb", "itlb"),
+            )
+        ]
         prog = asm.assemble(entry="probe")
         prog.kernel_ranges.append((KERNEL_BASE, KERNEL_END))
         return prog

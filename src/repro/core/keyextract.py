@@ -276,6 +276,18 @@ class ModexpVictim(AttackSession):
         asm.emit(enc.jcc("nz", "spy_loop"))
         asm.emit(enc.halt())
 
+        from repro.lint.taint import SecretClaim
+
+        # The exponent arrives in r7 at the victim's entry; every bit
+        # conditionally calls fn_multiply -- the canonical secret-bit
+        # jump.  The stores (iteration timestamps, done flag) pace a
+        # tainted loop, so the store-buffer drain pattern leaks too.
+        self._lint_secrets = [
+            SecretClaim(
+                name="exponent", entry="victim", register="r7",
+                leaks_to=("dsb", "itlb", "sb"),
+            )
+        ]
         return asm.assemble(entry="victim")
 
     # ------------------------------------------------------------------

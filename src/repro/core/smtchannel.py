@@ -32,6 +32,7 @@ from repro.cpu.noise import NoiseModel
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
 from repro.lint.gadgets import ChainClaim, PairClaim
+from repro.lint.taint import SecretClaim
 from repro.session import AttackSession
 
 RX_ARENA = 0x44_0000
@@ -126,6 +127,15 @@ class SMTChannel(AttackSession):
             ChainClaim("tx", tx_spec, "tiger"),
         ]
         self._lint_pairs = [PairClaim("tx", "rx", "conflict")]
+        # The Trojan's bit is the choice between the tiger loop and the
+        # (uncacheable) PAUSE loop; the PAUSE side surfaces as TA006
+        # dead-tainted regions, which is exactly the zero-bit's point.
+        self._lint_secrets = [
+            SecretClaim(
+                name="bit", entries=("tx_one", "tx_zero"),
+                leaks_to=("dsb", "itlb"),
+            )
+        ]
         return asm.assemble(entry="rx_epoch")
 
     # ------------------------------------------------------------------

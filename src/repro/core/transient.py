@@ -30,6 +30,7 @@ from repro.cpu.noise import NoiseModel
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
 from repro.lint.gadgets import ChainClaim, PairClaim
+from repro.lint.taint import SecretClaim
 from repro.session import AttackSession
 
 RECV_ARENA = 0x44_0000
@@ -230,6 +231,17 @@ class UopCacheSpectreV1(AttackSession):
             asm.emit(enc.clflush("r13"))
         asm.emit(enc.halt())
 
+        # The secret lives in data adjacent to the array; the bounds
+        # bypass makes the masked bit steer the tiger/zebra call, so
+        # the taint preflight must see both transmitters as
+        # secret-dependent fetch.
+        self._lint_secrets = [
+            SecretClaim(
+                name="secret", entry="victim", label="secret",
+                size=len(self.secret) or 1, leaks_to=("dsb", "itlb"),
+            )
+        ]
+
         prog = asm.assemble(entry="probe")
         return prog
 
@@ -414,6 +426,17 @@ class ClassicSpectreV1(AttackSession):
         asm.emit(enc.jcc("b", "rl_top"))
         asm.emit(enc.halt())
 
+        # Classic v1 is a pure data channel: the secret reaches a load
+        # *address* (TA003) but never a branch, so no fetch structure
+        # (DSB/iTLB) or store site is secret-dependent -- the contrast
+        # case for the µop-cache variant above.
+        self._lint_secrets = [
+            SecretClaim(
+                name="secret", entry="victim", label="secret",
+                size=len(self.secret) or 1, leaks_to=(),
+            )
+        ]
+
         return asm.assemble(entry="invoke_victim")
 
     def _install_secret(self) -> None:
@@ -556,6 +579,18 @@ class LfenceBypass(AttackSession):
         asm.emit(enc.mov_imm("r13", asm.resolve("auth_table") + 8, width=64))
         asm.emit(enc.clflush("r13"))
         asm.emit(enc.halt())
+
+        # secret2 steers an indirect call through fun_table; the table
+        # is written post-assembly (setup()), so the claim names the
+        # possible landing sites explicitly.
+        self._lint_secrets = [
+            SecretClaim(
+                name="secret2", entry=f"victim_{fence}", label="secret2",
+                indirect_targets=("target_zero", "target_one"),
+                leaks_to=("dsb", "itlb"),
+            )
+            for fence in ("nf", "lf", "cp")
+        ]
 
         return asm.assemble(entry="probe")
 

@@ -31,6 +31,7 @@ from repro.errors import ConfigError
 from repro.isa import encodings as enc
 from repro.isa.assembler import Assembler
 from repro.lint.gadgets import ChainClaim, PairClaim
+from repro.lint.taint import SecretClaim
 from repro.session import AttackSession
 
 _PROBE_ARENAS = 0x44_0000
@@ -174,6 +175,19 @@ class JumpTableSpectre(AttackSession):
         asm.emit(enc.mov_imm("r13", asm.resolve("array_size"), width=64))
         asm.emit(enc.clflush("r13"))
         asm.emit(enc.halt())
+        # The masked symbol steers an indirect call through
+        # transmit_table (written post-assembly in setup()), so the
+        # claim enumerates the 2^k transmitters as landing sites.
+        self._lint_secrets = [
+            SecretClaim(
+                name="secret", entry="victim", label="secret",
+                size=len(self.secret) or 1,
+                indirect_targets=tuple(
+                    f"send_{g}" for g in range(self.groups)
+                ),
+                leaks_to=("dsb", "itlb"),
+            )
+        ]
         return asm.assemble(entry="victim")
 
     def _install_data(self) -> None:

@@ -16,9 +16,16 @@ a :class:`~repro.cpu.config.CPUConfig` alone.  Three consumers:
   the simulator's placement logic.
 """
 
-from repro.lint.crosscheck import CrossCheckResult, FillDiff, cross_check
+from repro.lint.crosscheck import (
+    CrossCheckResult,
+    FillDiff,
+    SecretDiffResult,
+    cross_check,
+    cross_check_secrets,
+)
 from repro.lint.diagnostics import (
     CATALOG,
+    MAX_DIVERGENCE_DIAGNOSTICS,
     CatalogEntry,
     Diagnostic,
     LintError,
@@ -51,9 +58,17 @@ from repro.lint.resources import (
     verify_resource_claims,
 )
 from repro.lint.rules import check_program, check_sources
+from repro.lint.taint import (
+    LeakReport,
+    SecretClaim,
+    TaintReport,
+    analyze_claim,
+    verify_secret_claims,
+)
 
 __all__ = [
     "CATALOG",
+    "MAX_DIVERGENCE_DIAGNOSTICS",
     "CatalogEntry",
     "ChainClaim",
     "CrossCheckResult",
@@ -61,18 +76,24 @@ __all__ = [
     "FillDiff",
     "FootprintReport",
     "ITLBClaim",
+    "LeakReport",
     "LintError",
     "PairClaim",
     "RegionFootprint",
     "ResourceCheckResult",
     "ResourcePairClaim",
+    "SecretClaim",
+    "SecretDiffResult",
     "Severity",
     "StoreClaim",
+    "TaintReport",
     "analyze",
+    "analyze_claim",
     "check_program",
     "check_sources",
     "cross_check",
     "cross_check_itlb",
+    "cross_check_secrets",
     "cross_check_stores",
     "errors_of",
     "predicted_set",
@@ -81,5 +102,6 @@ __all__ = [
     "verify_chain",
     "verify_claims",
     "verify_pair",
+    "verify_secret_claims",
     "worst_severity",
 ]

@@ -8,20 +8,28 @@ callable, and diffs every observed ``dsb_fill`` event -- entry address,
 set index, line count -- against the footprint report.  Any divergence
 is an **XC001** error: either the simulator's placement logic or the
 analyzer has drifted, and both claim to implement Section II-B.
+
+:func:`cross_check_secrets` is the taint-mode analogue (**XC004**): it
+runs the same target twice with different secrets and asserts every
+live *divergent* ``dsb_fill``/``itlb_fill``/``sb_drain`` event falls
+inside the static secret-dependence prediction
+(:class:`repro.lint.taint.TaintReport`).  The taint analysis promises
+an over-approximation; this is the soundness check that keeps it one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.lint.diagnostics import Diagnostic
+from repro.lint.diagnostics import MAX_DIVERGENCE_DIAGNOSTICS, Diagnostic
 from repro.lint.footprint import FootprintReport
-from repro.observe.events import DSB_FILL, TraceRecorder
-
-#: Cap on per-entry XC001 diagnostics, so a systematic divergence does
-#: not bury the report under one error per fill event.
-MAX_DIVERGENCE_DIAGNOSTICS = 20
+from repro.observe.events import (
+    DSB_FILL,
+    ITLB_FILL,
+    SB_DRAIN,
+    TraceRecorder,
+)
 
 
 @dataclass
@@ -166,4 +174,170 @@ def cross_check(
                 )
             )
     result.entries_seen = len(entries)
+    return result
+
+
+# ----------------------------------------------------------------------
+# XC004: two-secret differential vs the taint prediction
+
+#: Event kinds whose divergence under two secrets must be statically
+#: predicted, and the payload key identifying each event.
+_SECRET_EVENT_KEYS = {
+    DSB_FILL: ("dsb", "entry"),
+    ITLB_FILL: ("itlb", "page"),
+    SB_DRAIN: ("sb", "pc"),
+}
+
+
+@dataclass
+class SecretDiffResult:
+    """Outcome of one two-secret differential run.
+
+    ``divergent`` holds, per resource, the event keys (fill entries,
+    pages, store pcs) present under one secret but not the other;
+    ``escapes`` the subset of those the static taint analysis did not
+    predict.  A nonempty ``escapes`` is an XC004 soundness failure.
+    """
+
+    events: int = 0
+    divergent: Dict[str, List[int]] = field(default_factory=dict)
+    escapes: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def divergences(self) -> int:
+        return sum(len(v) for v in self.divergent.values())
+
+    @property
+    def clean(self) -> bool:
+        """True when every divergence was statically predicted."""
+        return not any(self.escapes.values())
+
+    def diagnostics(self) -> List[Diagnostic]:
+        """XC004 errors for unpredicted divergences (capped)."""
+        out: List[Diagnostic] = []
+        total = sum(len(v) for v in self.escapes.values())
+        for resource in sorted(self.escapes):
+            for key in self.escapes[resource]:
+                if len(out) >= MAX_DIVERGENCE_DIAGNOSTICS:
+                    out.append(Diagnostic(
+                        "XC004",
+                        f"... plus {total - len(out)} further "
+                        f"unpredicted divergence(s) suppressed",
+                    ))
+                    return out
+                out.append(Diagnostic(
+                    "XC004",
+                    f"{resource} event {key:#x} diverged between the "
+                    f"two secrets but is outside the static "
+                    f"secret-dependence prediction",
+                    addr=key,
+                ))
+        return out
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{res}={len(keys)}"
+            for res, keys in sorted(self.divergent.items())
+        )
+        return (
+            f"{self.divergences} divergent event key(s) over "
+            f"{self.events} events ({parts}); "
+            f"{sum(len(v) for v in self.escapes.values())} escape(s)"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "events": self.events,
+            "divergent": {k: v for k, v in self.divergent.items()},
+            "escapes": {k: v for k, v in self.escapes.items()},
+            "clean": self.clean,
+        }
+
+
+def _observed_keys(
+    core, drive: Callable[[int], None], secret: int
+) -> Tuple[Dict[str, Set[int]], int]:
+    """Per-resource event-key sets for one secret's run."""
+    core.reset()
+    recorder = TraceRecorder(
+        kinds=tuple(_SECRET_EVENT_KEYS), core=core
+    )
+    recorder.connect()
+    try:
+        drive(secret)
+    finally:
+        recorder.close()
+    keys: Dict[str, Set[int]] = {"dsb": set(), "itlb": set(), "sb": set()}
+    count = 0
+    for kind, (resource, payload) in _SECRET_EVENT_KEYS.items():
+        for event in recorder.of(kind):
+            keys[resource].add(int(event.get(payload)))
+            count += 1
+    return keys, count
+
+
+def cross_check_secrets(
+    core,
+    taint,
+    drive: Callable[[int], None],
+    secrets: Sequence[int] = (0, 1),
+) -> SecretDiffResult:
+    """Run ``drive(secret)`` once per secret and diff the event sets.
+
+    ``taint`` is the target's :class:`repro.lint.taint.TaintReport`.
+    The core is reset before each run so both executions start from
+    identical post-construction state; divergence is the symmetric
+    difference of the per-resource event-key sets, which must be a
+    subset of the static prediction (fill entries for the DSB,
+    instruction pages for the iTLB, store pcs for the store buffer).
+
+    DSB fill entries are compared at 32-byte fetch-region granularity:
+    the live front end re-enters a region mid-line (a loop-exit
+    fall-through, a call's return site) at addresses the static walk
+    only knows by their region, and the cache indexes by the aligned
+    window either way.
+    """
+    runs = []
+    result = SecretDiffResult()
+    for secret in secrets:
+        keys, count = _observed_keys(core, drive, secret)
+        runs.append(keys)
+        result.events += count
+
+    predicted = {
+        "dsb": set(taint.regions),
+        "itlb": set(taint.itlb_pages),
+        "sb": set(taint.store_sites),
+    }
+    predicted_dsb_windows = {entry >> 5 for entry in taint.regions}
+    # A tainted branch's own window always executes, but the fetch
+    # resumption point inside it differs per outcome, so its sub-entry
+    # fill keys legitimately diverge.
+    for leak in getattr(taint, "leaks", ()):
+        predicted_dsb_windows |= {
+            addr >> 5 for addr in leak.tainted_branches
+        }
+        predicted_dsb_windows |= {
+            addr >> 5 for addr in leak.tainted_indirect
+        }
+    for resource in ("dsb", "itlb", "sb"):
+        union: Set[int] = set()
+        common: Optional[Set[int]] = None
+        for keys in runs:
+            union |= keys[resource]
+            common = (
+                set(keys[resource]) if common is None
+                else common & keys[resource]
+            )
+        divergent = union - (common or set())
+        result.divergent[resource] = sorted(divergent)
+        if resource == "dsb":
+            escapes = {
+                key for key in divergent
+                if key not in predicted[resource]
+                and (key >> 5) not in predicted_dsb_windows
+            }
+        else:
+            escapes = divergent - predicted[resource]
+        result.escapes[resource] = sorted(escapes)
     return result

@@ -25,6 +25,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
+#: Shared cap on per-entry divergence diagnostics.  Every differential
+#: mode (XC001 placement, XC002 iTLB, XC003 stores, XC004 secrets)
+#: reports at most this many findings before folding the remainder
+#: into a single "plus N further" note, so one systemic drift cannot
+#: drown the report.
+MAX_DIVERGENCE_DIAGNOSTICS = 20
+
+
 class Severity(enum.IntEnum):
     """Diagnostic severity, ordered so ``max()`` picks the worst."""
 
@@ -162,6 +170,60 @@ CATALOG: Dict[str, CatalogEntry] = {
             "claim did not predict (or claimed sites never drained); "
             "the store-site analysis and the backend have drifted "
             "apart",
+        ),
+        CatalogEntry(
+            "TA001", "untracked-secret-source", Severity.ERROR,
+            "a SecretClaim names an entry label, register or data "
+            "label the program does not define; the taint analysis "
+            "has nothing to seed and the claim verifies vacuously -- "
+            "fix the claim or the layout",
+        ),
+        CatalogEntry(
+            "TA002", "secret-dependent-fetch", Severity.INFO,
+            "fetch regions are control-dependent on the declared "
+            "secret: which 32-byte regions enter the µop cache (and "
+            "which DSB sets/iTLB pages they occupy) encodes the "
+            "secret -- this is the leak the paper measures",
+        ),
+        CatalogEntry(
+            "TA003", "secret-dependent-memory-operand", Severity.INFO,
+            "a load/store address is computed from the secret; the "
+            "access pattern leaks through data-side channels even if "
+            "fetch stays secret-independent",
+        ),
+        CatalogEntry(
+            "TA004", "constant-time-violation", Severity.ERROR,
+            "a claim declared constant_time but the secret reaches a "
+            "branch condition, an indirect target or a memory "
+            "address; the code is not constant-time -- linearize the "
+            "control flow or drop the declaration",
+        ),
+        CatalogEntry(
+            "TA005", "secret-claim-mismatch", Severity.ERROR,
+            "the resources the claim declares the secret leaks into "
+            "(leaks_to) differ from what the taint analysis infers; "
+            "update the declaration or fix the layout so they agree",
+        ),
+        CatalogEntry(
+            "TA006", "dead-tainted-region", Severity.INFO,
+            "secret taint reaches a fetch region that cannot enter "
+            "the µop cache (uncacheable packing), so the DSB channel "
+            "never observes it; the region is dead weight for the "
+            "leak",
+        ),
+        CatalogEntry(
+            "XC004", "secret-divergence-escape", Severity.ERROR,
+            "two live runs with different secrets diverged in a "
+            "dsb_fill/itlb_fill/sb_drain event the static taint "
+            "analysis did not predict as secret-dependent; the "
+            "analysis under-approximates and its capacity bound is "
+            "unsound",
+        ),
+        CatalogEntry(
+            "LT001", "target-build-failure", Severity.ERROR,
+            "a lint target's builder raised before analysis could "
+            "run; nothing about the target was verified -- fix the "
+            "driver construction error in the context traceback",
         ),
     )
 }

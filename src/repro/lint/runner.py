@@ -19,11 +19,17 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.lint.crosscheck import CrossCheckResult, cross_check
+from repro.lint.crosscheck import (
+    CrossCheckResult,
+    SecretDiffResult,
+    cross_check,
+    cross_check_secrets,
+)
 from repro.lint.diagnostics import Diagnostic, Severity, errors_of
 from repro.lint.footprint import FootprintReport, analyze
 from repro.lint.gadgets import verify_claims
 from repro.lint.rules import check_program, check_sources
+from repro.lint.taint import TaintReport, verify_secret_claims
 
 
 @dataclass
@@ -38,10 +44,19 @@ class BuiltTarget:
     #: per-resource claims (repro.lint.resources) -- iTLB page sets,
     #: store-site counts and capacity-relation pairs
     resources: list = field(default_factory=list)
+    #: secret declarations (repro.lint.taint.SecretClaim) for the
+    #: taint mode; targets without any stay taint-silent
+    secrets: list = field(default_factory=list)
     #: live core + zero-arg driver for the cross-check mode; targets
     #: without one are static-only
     core: Optional[object] = None
     drive: Optional[Callable[[], None]] = None
+    #: one-secret driver for the XC004 differential mode: called as
+    #: ``secret_drive(value)`` once per value in ``secret_values``
+    #: after a core reset; the observed fill divergence must stay
+    #: inside the static taint prediction
+    secret_drive: Optional[Callable[[int], None]] = None
+    secret_values: tuple = (0, 1)
     #: source-scan targets have no program at all
     source_scan: bool = False
     #: findings computed by the builder itself (multi-program targets
@@ -69,9 +84,12 @@ def _no_preflight():
 # repro.lint for their claims, so module level would be a cycle)
 
 
-def _from_session(name: str, session, drive=None) -> BuiltTarget:
+def _from_session(name: str, session, drive=None,
+                  secret_drive=None, secret_values=(0, 1)) -> BuiltTarget:
     chains, pairs = session.lint_claims()
     resources = getattr(session, "lint_resource_claims", lambda: [])()
+    secrets = getattr(session, "lint_secret_claims", lambda: [])()
+    live = drive is not None or secret_drive is not None
     return BuiltTarget(
         name=name,
         program=session.program,
@@ -79,8 +97,11 @@ def _from_session(name: str, session, drive=None) -> BuiltTarget:
         chains=chains,
         pairs=pairs,
         resources=resources,
-        core=session.core if drive is not None else None,
+        secrets=secrets,
+        core=session.core if live else None,
         drive=drive,
+        secret_drive=secret_drive,
+        secret_values=secret_values,
     )
 
 
@@ -96,7 +117,13 @@ def _build_covert() -> BuiltTarget:
             chan._send(bit)
             chan._call("probe")
 
-    return _from_session("covert", chan, drive)
+    def secret_drive(bit: int) -> None:
+        chan.setup()
+        chan._prime()
+        chan._send(bit)
+        chan._call("probe")
+
+    return _from_session("covert", chan, drive, secret_drive)
 
 
 def _build_tigerzebra() -> BuiltTarget:
@@ -111,6 +138,8 @@ def _build_tigerzebra() -> BuiltTarget:
     from repro.cpu.core import Core
     from repro.isa.assembler import Assembler
     from repro.lint.gadgets import ChainClaim, PairClaim
+
+    from repro.lint.taint import SecretClaim
 
     config = CPUConfig.skylake()
     tiger_sets = striped_sets(8)
@@ -130,6 +159,11 @@ def _build_tigerzebra() -> BuiltTarget:
         for label in ("probe", "tiger", "probe", "zebra", "probe"):
             core.call(label)
 
+    def secret_drive(bit: int) -> None:
+        core.call("probe")
+        core.call("tiger" if bit else "zebra")
+        core.call("probe")
+
     return BuiltTarget(
         name="tigerzebra",
         program=program,
@@ -143,8 +177,13 @@ def _build_tigerzebra() -> BuiltTarget:
             PairClaim("tiger", "probe", "conflict"),
             PairClaim("zebra", "probe", "disjoint"),
         ],
+        secrets=[
+            SecretClaim(name="bit", entries=("tiger", "zebra"),
+                        leaks_to=("dsb", "itlb")),
+        ],
         core=core,
         drive=drive,
+        secret_drive=secret_drive,
     )
 
 
@@ -153,23 +192,47 @@ def _build_smt() -> BuiltTarget:
 
     with _no_preflight():
         chan = SMTChannel()
-    return _from_session("smt", chan)
+
+    def secret_drive(bit: int) -> None:
+        chan.setup()
+        chan._episode(bit)
+
+    return _from_session("smt", chan, secret_drive=secret_drive)
 
 
 def _build_spectre() -> BuiltTarget:
-    from repro.core.transient import UopCacheSpectreV1
+    from repro.core.transient import ARRAY_BYTES, UopCacheSpectreV1
 
     with _no_preflight():
         attack = UopCacheSpectreV1(secret=b"!")
-    return _from_session("spectre", attack)
+
+    def secret_drive(bit: int) -> None:
+        attack.setup()
+        attack._install_data()
+        attack.core.write_mem(attack.core.addr_of("secret"), bit, size=1)
+        attack._episode(ARRAY_BYTES, 0)  # out-of-bounds: secret[0] bit 0
+
+    return _from_session("spectre", attack, secret_drive=secret_drive)
 
 
 def _build_classic() -> BuiltTarget:
-    from repro.core.transient import ClassicSpectreV1
+    from repro.core.transient import ARRAY_BYTES, ClassicSpectreV1
 
     with _no_preflight():
         attack = ClassicSpectreV1(secret=b"!")
-    return _from_session("classic", attack)
+
+    def secret_drive(bit: int) -> None:
+        # Classic v1 leaks through the data cache only: the taint
+        # prediction is empty, and so must be the fill divergence.
+        attack.setup()
+        attack._install_secret()
+        attack.core.write_mem(attack.core.addr_of("secret"), bit, size=1)
+        attack._call("invoke_victim", regs={"r1": 16})  # in-bounds train
+        attack._call("flush_all")
+        attack._call("invoke_victim", regs={"r1": ARRAY_BYTES})
+        attack._call("reload_all")
+
+    return _from_session("classic", attack, secret_drive=secret_drive)
 
 
 def _build_lfence() -> BuiltTarget:
@@ -177,7 +240,12 @@ def _build_lfence() -> BuiltTarget:
 
     with _no_preflight():
         attack = LfenceBypass()
-    return _from_session("lfence", attack)
+
+    def secret_drive(bit: int) -> None:
+        attack.setup()
+        attack.attack_once("nf", bit, train_rounds=1)
+
+    return _from_session("lfence", attack, secret_drive=secret_drive)
 
 
 def _build_bti() -> BuiltTarget:
@@ -185,7 +253,14 @@ def _build_bti() -> BuiltTarget:
 
     with _no_preflight():
         attack = BranchTargetInjection(secret=b"!")
-    return _from_session("bti", attack)
+
+    def secret_drive(bit: int) -> None:
+        attack.setup()
+        attack._install_secret()
+        attack.core.write_mem(attack.core.addr_of("secret"), bit, size=1)
+        attack._episode(0, 0)
+
+    return _from_session("bti", attack, secret_drive=secret_drive)
 
 
 def _build_crossdomain() -> BuiltTarget:
@@ -193,23 +268,54 @@ def _build_crossdomain() -> BuiltTarget:
 
     with _no_preflight():
         chan = CrossDomainChannel()
-    return _from_session("crossdomain", chan)
+
+    def secret_drive(bit: int) -> None:
+        chan.setup()
+        chan._send(bit)
+        chan._call("probe")
+
+    return _from_session("crossdomain", chan, secret_drive=secret_drive)
 
 
 def _build_jumptable() -> BuiltTarget:
+    from repro.core.transient import ARRAY_BYTES
     from repro.core.transient_multibit import JumpTableSpectre
 
     with _no_preflight():
         attack = JumpTableSpectre(secret=b"!")
-    return _from_session("jumptable", attack)
+
+    def secret_drive(symbol: int) -> None:
+        attack.setup()
+        attack._install_data()
+        attack.core.write_mem(attack.core.addr_of("secret"), symbol, size=1)
+        attack._episode(ARRAY_BYTES, 0)
+
+    # Differential over two symbols, exercising distinct jump-table
+    # landing sites (send_1 vs send_2).
+    return _from_session("jumptable", attack, secret_drive=secret_drive,
+                         secret_values=(1, 2))
 
 
 def _build_keyextract() -> BuiltTarget:
     from repro.core.keyextract import ModexpVictim
 
     with _no_preflight():
-        victim = ModexpVictim()
-    return _from_session("keyextract", victim)
+        # Full nbits keeps the static surface identical to the shipped
+        # driver; fewer spy samples keep the live XC004 episode fast
+        # (the spy's sample count never touches the victim's layout).
+        victim = ModexpVictim(spy_samples=40)
+
+    def secret_drive(key: int) -> None:
+        victim.setup()
+        victim.run_pair(key)
+
+    # The all-zeros key never takes the multiply arm and the all-ones
+    # key always does, so the divergence between the two runs is
+    # exactly the square-and-multiply fetch difference.  (Adjacent
+    # keys such as 0x8000/0x8001 both fetch every path at least once
+    # and are indistinguishable at the event-*set* level.)
+    return _from_session("keyextract", victim, secret_drive=secret_drive,
+                         secret_values=(0, 0xFFFF))
 
 
 def _build_contention_itlb() -> BuiltTarget:
@@ -217,7 +323,12 @@ def _build_contention_itlb() -> BuiltTarget:
 
     with _no_preflight():
         chan = ITLBChannel()
-    return _from_session("contention-itlb", chan)
+
+    def secret_drive(bit: int) -> None:
+        chan.setup()
+        chan._episode(bit)
+
+    return _from_session("contention-itlb", chan, secret_drive=secret_drive)
 
 
 def _build_contention_sb() -> BuiltTarget:
@@ -225,7 +336,12 @@ def _build_contention_sb() -> BuiltTarget:
 
     with _no_preflight():
         chan = StoreBufferChannel()
-    return _from_session("contention-sb", chan)
+
+    def secret_drive(bit: int) -> None:
+        chan.setup()
+        chan._episode(bit)
+
+    return _from_session("contention-sb", chan, secret_drive=secret_drive)
 
 
 def _build_contention_pairs() -> BuiltTarget:
@@ -300,6 +416,10 @@ class TargetResult:
     regions: int = 0
     elapsed: float = 0.0
     crosscheck: Optional[CrossCheckResult] = None
+    #: taint-mode outputs (``--taint``): the static leak prediction
+    #: and, for targets with a secret driver, the XC004 differential
+    taint: Optional[TaintReport] = None
+    secretcheck: Optional[SecretDiffResult] = None
     build_error: Optional[str] = None
 
     @property
@@ -327,6 +447,10 @@ class TargetResult:
         }
         if self.crosscheck is not None:
             data["crosscheck"] = self.crosscheck.as_dict()
+        if self.taint is not None:
+            data["taint"] = self.taint.as_dict()
+        if self.secretcheck is not None:
+            data["secretcheck"] = self.secretcheck.as_dict()
         if self.build_error is not None:
             data["build_error"] = self.build_error
         return data
@@ -377,6 +501,17 @@ class LintRun:
                 lines.append(f"  {diag.format()}")
             if result.crosscheck is not None:
                 lines.append(f"  cross-check: {result.crosscheck.summary()}")
+            if result.taint is not None:
+                lines.append(
+                    f"  taint: {len(result.taint.leaks)} claim(s), "
+                    f"{len(result.taint.regions)} secret-dependent "
+                    f"region(s), capacity <= "
+                    f"{result.taint.capacity_bits:.1f} bit(s)"
+                )
+            if result.secretcheck is not None:
+                lines.append(
+                    f"  secret-check: {result.secretcheck.summary()}"
+                )
         total_err = sum(r.counts()["error"] for r in self.results)
         total_err += sum(1 for r in self.results if r.build_error)
         verdict = "clean" if self.ok else f"{total_err} error(s)"
@@ -391,8 +526,15 @@ def lint_target(
     name: str,
     builder: Callable[[], BuiltTarget],
     cross: bool = False,
+    taint: bool = False,
 ) -> TargetResult:
-    """Build and lint one target; build crashes become the result."""
+    """Build and lint one target; build crashes become the result.
+
+    A build failure is reported both as ``build_error`` (the traceback,
+    for humans) and as a structured LT001 error diagnostic, so JSON
+    consumers and exit-code logic see it through the same catalog path
+    as every other finding.
+    """
     start = time.perf_counter()
     result = TargetResult(name=name)
     try:
@@ -416,20 +558,44 @@ def lint_target(
                     target.core, report, target.drive
                 )
                 result.diagnostics.extend(result.crosscheck.diagnostics())
-    except Exception:
+            if taint and target.secrets:
+                result.taint = verify_secret_claims(report, target.secrets)
+                result.diagnostics.extend(result.taint.diagnostics)
+                if (target.secret_drive is not None
+                        and target.core is not None):
+                    result.secretcheck = cross_check_secrets(
+                        target.core, result.taint, target.secret_drive,
+                        secrets=target.secret_values,
+                    )
+                    result.diagnostics.extend(
+                        result.secretcheck.diagnostics()
+                    )
+    except Exception as exc:
         result.build_error = traceback.format_exc(limit=3).strip()
+        result.diagnostics.append(Diagnostic(
+            "LT001",
+            f"target {name!r} failed to build: "
+            f"{type(exc).__name__}: {exc}",
+        ))
     result.elapsed = time.perf_counter() - start
     return result
 
 
 def run_lint(
-    names: Optional[Sequence[str]] = None, cross: bool = False
+    names: Optional[Sequence[str]] = None, cross: bool = False,
+    taint: bool = False,
 ) -> LintRun:
     """Lint the named targets (default: all of them).
 
     ``cross=True`` additionally drives the targets in
     :data:`CROSS_CHECK_TARGETS` against the live simulator and diffs
     every observed fill (XC001 on divergence).
+
+    ``taint=True`` runs the secret-flow taint analysis over every
+    target that declares :class:`~repro.lint.taint.SecretClaim`s, and
+    -- for targets with a secret driver -- the XC004 differential:
+    the target runs once per secret value and the live fill divergence
+    must stay inside the static prediction.
     """
     if names:
         unknown = [n for n in names if n not in TARGETS]
@@ -445,6 +611,8 @@ def run_lint(
     run = LintRun()
     for name in selected:
         do_cross = cross and name in CROSS_CHECK_TARGETS
-        run.results.append(lint_target(name, TARGETS[name], cross=do_cross))
+        run.results.append(
+            lint_target(name, TARGETS[name], cross=do_cross, taint=taint)
+        )
     run.elapsed = time.perf_counter() - start
     return run

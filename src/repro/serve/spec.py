@@ -205,7 +205,9 @@ class ExperimentSpec:
                      f"known: {sorted(TARGETS)}")
         cross = self.params.get("cross_check", False)
         _require(isinstance(cross, bool), "'cross_check' must be a boolean")
-        extra = sorted(set(self.params) - {"targets", "cross_check"})
+        taint = self.params.get("taint", False)
+        _require(isinstance(taint, bool), "'taint' must be a boolean")
+        extra = sorted(set(self.params) - {"targets", "cross_check", "taint"})
         _require(not extra, f"unknown lint spec field(s) {extra}")
 
     def _validate_trace(self) -> None:
@@ -356,7 +358,8 @@ class ExperimentSpec:
 
         with _deadline(self.timeout):
             run = run_lint(self.params.get("targets"),
-                           cross=self.params.get("cross_check", False))
+                           cross=self.params.get("cross_check", False),
+                           taint=self.params.get("taint", False))
         return {"kind": "lint", "ok": run.ok, "report": run.as_dict()}
 
     def _execute_trace(self, cache) -> Dict[str, Any]:

@@ -92,6 +92,9 @@ class AttackSession:
         #: Findings of the construction-time preflight (all severities);
         #: empty when the preflight is disabled.
         self.lint_findings: list = []
+        #: Preflight taint analysis (``None`` until the preflight runs
+        #: a driver that declares secrets).
+        self.taint_report = None
         self.setup()
         if self.preflight:
             self._run_preflight()
@@ -129,6 +132,16 @@ class AttackSession:
         """
         return getattr(self, "_lint_resources", [])
 
+    def lint_secret_claims(self) -> list:
+        """:class:`~repro.lint.taint.SecretClaim` declarations of
+        where the driver's secrets live (a register at an entry, a
+        data label, or the choice between alternative entries); the
+        preflight runs the secret-flow taint analysis over them.
+        Drivers populate ``self._lint_secrets`` in
+        :meth:`build_program`; override for computed claims.
+        """
+        return getattr(self, "_lint_secrets", [])
+
     # ------------------------------------------------------------------
     # preflight
 
@@ -145,6 +158,7 @@ class AttackSession:
             check_program,
             errors_of,
             verify_claims,
+            verify_secret_claims,
         )
 
         report = analyze(self.program, self.config)
@@ -154,6 +168,14 @@ class AttackSession:
         self.lint_findings.extend(
             verify_claims(report, chains, pairs, resources)
         )
+        secrets = self.lint_secret_claims()
+        #: Taint-analysis result of the preflight (``None`` when the
+        #: driver declares no secrets); the lint runner and the XC004
+        #: differential mode reuse it instead of re-analyzing.
+        self.taint_report = None
+        if secrets:
+            self.taint_report = verify_secret_claims(report, secrets)
+            self.lint_findings.extend(self.taint_report.diagnostics)
         errors = errors_of(self.lint_findings)
         if errors:
             raise LintError(errors)

@@ -167,7 +167,7 @@ def test_submit_shorthands_expand_to_valid_specs():
 
     base = dict(job_fn=None, params=None, payload=None, scale=1, targets=None,
                 target=None, seed=17, priority=0, timeout=None,
-                refresh=False)
+                refresh=False, taint=False)
     for shorthand in ("covert", "table2", "workloads", "lint", "trace"):
         args = argparse.Namespace(experiment=shorthand, **base)
         spec = ExperimentSpec.from_json(_submit_spec(args))

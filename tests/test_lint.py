@@ -40,14 +40,16 @@ class TestCatalog:
     def test_codes_are_namespaced_and_unique(self):
         for code, entry in CATALOG.items():
             assert code == entry.code
-            assert code[:2] in ("UC", "DT", "XC", "RC")
+            assert code[:2] in ("UC", "DT", "XC", "RC", "TA", "LT")
 
     def test_documented_rule_set_is_stable(self):
         """The codes are public API: removing one is a breaking change."""
         expected = {
             "UC001", "UC002", "UC003", "UC004", "UC005", "UC006",
             "UC007", "UC008", "UC009", "UC010", "DT001", "DT002",
-            "XC001", "XC002", "XC003", "RC001", "RC002", "RC003",
+            "XC001", "XC002", "XC003", "XC004", "RC001", "RC002",
+            "RC003", "TA001", "TA002", "TA003", "TA004", "TA005",
+            "TA006", "LT001",
         }
         assert expected <= set(CATALOG)
 
@@ -539,6 +541,23 @@ class TestRunner:
         result = lint_target("bad", exploding)
         assert not result.ok
         assert "boom" in result.build_error
+
+    def test_build_crash_carries_lt001_and_nonzero_exit(self):
+        """A target that fails to build must surface a structured
+        LT001 error and fail the run deterministically."""
+        from repro.lint.runner import LintRun, lint_target
+
+        def exploding():
+            raise RuntimeError("boom")
+
+        result = lint_target("bad", exploding)
+        lt = [d for d in result.diagnostics if d.code == "LT001"]
+        assert len(lt) == 1
+        assert "bad" in lt[0].message and "boom" in lt[0].message
+        assert lt[0].severity is Severity.ERROR
+        run = LintRun(results=[result])
+        assert not run.ok
+        assert run.exit_code != 0
 
 
 class TestCli:

@@ -64,6 +64,18 @@ def test_spec_rejects_unknown_lint_target():
             {"kind": "lint", "params": {"targets": ["nope"]}})
 
 
+def test_spec_rejects_non_boolean_taint():
+    with pytest.raises(SpecError, match="'taint' must be a boolean"):
+        ExperimentSpec.from_json(
+            {"kind": "lint", "params": {"taint": "yes"}})
+
+
+def test_spec_rejects_unknown_lint_field():
+    with pytest.raises(SpecError, match="unknown lint spec field"):
+        ExperimentSpec.from_json(
+            {"kind": "lint", "params": {"taint": True, "crosss": 1}})
+
+
 def test_spec_rejects_unknown_trace_experiment():
     with pytest.raises(SpecError, match="trace experiment"):
         ExperimentSpec.from_json(
@@ -156,6 +168,21 @@ def test_submit_and_wait_round_trip(server):
     assert record["status"] == "done"
     assert record["result"]["result"]["token"] == "round-trip"
     assert record["result"]["executed"] + record["result"]["cached"] == 1
+
+
+def test_lint_taint_spec_round_trips_through_service(server):
+    """A taint-mode lint job comes back with the secret-flow report
+    and a clean two-secret differential."""
+    record = server.client().submit_and_wait({
+        "kind": "lint",
+        "params": {"targets": ["tigerzebra"], "taint": True},
+    }, timeout=120)
+    assert record["status"] == "done"
+    assert record["result"]["ok"] is True
+    (target,) = record["result"]["report"]["targets"]
+    assert target["target"] == "tigerzebra"
+    assert target["taint"]["capacity_bits"] > 0
+    assert target["secretcheck"]["clean"] is True
 
 
 def test_second_submission_is_answered_from_cache(server):
