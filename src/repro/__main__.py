@@ -34,6 +34,13 @@ Serving (``repro.serve``):
   ``itlb``, ``storebuffer``, ``table2``, ``workloads``, ``lint``,
   ``trace``, raw ``job``) into a spec, POST it, optionally ``--wait``
   for the result
+
+Synthesis (``repro.synth``):
+
+- ``synth``         -- automated attack synthesis: a seeded
+  generate -> lint -> submit -> score search over the attack-program
+  space; finalists measured locally, against a running service
+  (``--port``), or an in-process fleet (``--fleet K``)
 """
 
 from __future__ import annotations
@@ -562,6 +569,93 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run.exit_code
 
 
+def _cmd_synth(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.synth import (
+        LocalEvaluator,
+        ServeEvaluator,
+        SynthConfig,
+        best_report,
+        run_search,
+    )
+
+    kwargs = dict(objective=args.objective, budget=args.budget,
+                  seed=args.seed)
+    if args.fast:
+        # smoke-sized: a 2-byte payload, a 2-round detector window and
+        # a smaller per-generation cohort (same search semantics)
+        kwargs.update(population=16, finalists=4,
+                      payload=b"sy", detector_bits=2)
+    config = SynthConfig(**kwargs)
+    cache = _make_cache(args)
+
+    cluster = None
+    try:
+        if args.port is not None:
+            from repro.serve.client import ServeClient
+
+            client = ServeClient(host=args.host, port=args.port)
+            evaluator = ServeEvaluator(
+                client, max_in_flight=args.in_flight,
+                timeout=args.timeout)
+        elif args.fleet:
+            from repro.serve.testing import ClusterThread
+
+            print(f"synth: booting in-process fleet "
+                  f"({args.fleet} workers)...")
+            cluster = ClusterThread(workers=args.fleet).start()
+            evaluator = ServeEvaluator(
+                cluster.client(), max_in_flight=args.in_flight,
+                timeout=args.timeout)
+        else:
+            evaluator = LocalEvaluator(
+                workers=args.jobs, cache=cache, timeout=args.timeout)
+        result = run_search(config, evaluator, cache=cache,
+                            log=lambda msg: print(f"synth: {msg}"))
+    finally:
+        if cluster is not None:
+            cluster.stop()
+
+    report = best_report(result)
+    funnel = report.get("funnel", {})
+    print(f"synth: objective={config.objective} budget={config.budget} "
+          f"seed={config.seed}")
+    print(f"  funnel: raw={funnel.get('raw')} "
+          f"rejected={funnel.get('rejected')} "
+          f"(reject rate {funnel.get('static_reject_rate', 0.0):.2f}) "
+          f"measured={funnel.get('measured')} "
+          f"executed={funnel.get('executed')} "
+          f"cached={funnel.get('cached')}")
+    best = result.best
+    if best is None or best.row is None:
+        print("  no measured candidate (budget too small?)")
+        return 1
+    row = best.row
+    print(f"  best [{best.key[:16]}...]: {row['family']}"
+          + (f"/{best.genome.get('resource')}"
+             if best.genome.get("resource") else "")
+          + f" fitness={best.fitness:.1f}")
+    print(f"    bandwidth={row['bandwidth_kbps']:.1f} Kbit/s "
+          f"error={row['error_rate']:.4f} "
+          f"ecc_ok={row['corrected_ok']} "
+          f"detector_auc={row['detector_auc']:.3f}")
+    print(f"    genome: {json.dumps(best.genome, sort_keys=True)}")
+    print(f"    static: capacity={best.capacity_bits:.2f} bits/symbol, "
+          f"rate~{best.static_rate_kbps:.0f} Kbit/s, "
+          f"{best.lint_findings} lint findings")
+    print("    listing:")
+    for line in report["listing"][:12]:
+        print(f"      {line}")
+    if len(report["listing"]) > 12:
+        print(f"      ... ({len(report['listing']) - 12} more lines)")
+    if args.json:
+        from repro.harness import write_json
+
+        print(f"wrote {write_json(args.json, report)}")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.harness import ResultCache
 
@@ -878,6 +972,56 @@ def main(argv=None) -> int:
     p.add_argument("--json", metavar="PATH", default=None,
                    help="write the full report as JSON ('-' for stdout)")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "synth",
+        help="automated attack synthesis (repro.synth)",
+        description="Seeded generate -> lint -> submit -> score search "
+                    "over the attack-program space: mutation/crossover "
+                    "over gadget chains and contention templates, a "
+                    "staged static fitness pipeline (assemble / lint / "
+                    "taint) killing most raw candidates for free, and "
+                    "measured evaluation of the finalists through the "
+                    "content-addressed harness -- locally, against a "
+                    "running 'repro serve', or an in-process fleet.",
+    )
+    p.add_argument("--objective", default="bandwidth",
+                   choices=["bandwidth", "capacity", "stealth"],
+                   help="fitness: raw covert bandwidth, error-corrected "
+                        "capacity (repro.coding), or detector-evading "
+                        "bandwidth (Table-II ROC penalty)")
+    p.add_argument("--budget", type=int, default=200, metavar="N",
+                   help="raw candidates drawn over the whole search "
+                        "(default 200)")
+    p.add_argument("--seed", type=int, default=2021,
+                   help="search RNG seed (same seed + budget replays "
+                        "the identical search)")
+    p.add_argument("--fast", action="store_true",
+                   help="smoke-sized payload/detector windows and "
+                        "smaller generations")
+    p.add_argument("--jobs", "-j", type=int, default=0, metavar="N",
+                   help="local worker processes (0 = in-process)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="(--port) service host")
+    p.add_argument("--port", type=int, default=None, metavar="PORT",
+                   help="measure finalists against a running "
+                        "'repro serve' (single service or coordinator)")
+    p.add_argument("--fleet", type=int, default=None, metavar="K",
+                   help="boot an in-process coordinator + K workers and "
+                        "measure finalists through it")
+    p.add_argument("--in-flight", type=int, default=8, metavar="N",
+                   help="(--port/--fleet) bounded batch concurrency "
+                        "(default 8)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                   help="per-measurement budget")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result store location (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="neither read nor write the result store")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the best-candidate report as JSON")
+    p.set_defaults(fn=_cmd_synth)
 
     p = sub.add_parser("cache", help="inspect/clear the result store")
     p.add_argument("action", choices=["stats", "clear"])

@@ -34,6 +34,7 @@ Resource notes (what the knob means per template):
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -810,6 +811,21 @@ _BUILDERS = {
 }
 
 
+#: Per-resource sampling ranges :func:`generate_pair` draws from when
+#: handed an ``rng`` and the knob was left unspecified.  Every value in
+#: these ranges assembles and lints clean (the template sampling test
+#: sweeps them), so a seeded sampler can never produce a broken pair.
+_SAMPLE_SPACE: Dict[str, Dict[str, Tuple[int, ...]]] = {
+    "uop_cache": {"size": (4, 8, 16)},
+    "itlb": {"size": (4, 6, 8, 10), "passes": (2, 3, 4)},
+    "dtlb": {"size": (4, 6, 8, 10), "passes": (2, 3)},
+    "l1i": {"size": (2, 4, 8), "stride": (4, 8, 16), "passes": (2, 3, 4)},
+    "l1d": {"size": (2, 4, 8), "stride": (4, 8, 16), "passes": (2, 3)},
+    "store_buffer": {"size": (32, 40, 48, 56, 64)},
+    "btb": {"size": (8, 16, 24), "passes": (2, 3)},
+}
+
+
 def generate_pair(
     resource: str,
     variant: str = "conflict",
@@ -818,6 +834,7 @@ def generate_pair(
     stride: Optional[int] = None,
     config: Optional[CPUConfig] = None,
     passes: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> GeneratedPair:
     """Generate one attacker/victim pair for ``resource``.
 
@@ -831,6 +848,14 @@ def generate_pair(
     victim work to overlap the concurrent attacker's warm-up; see
     :data:`repro.contention.session.SMT_PASSES`).  ``config``
     overrides :func:`contention_config`.
+
+    ``rng`` turns the generator into a *seeded sampler*: knobs the
+    caller left ``None`` are drawn deterministically from the
+    per-resource :data:`_SAMPLE_SPACE`, so the synthesis layer gets
+    reproducible template populations (same ``random.Random`` state,
+    same pair -- and therefore the same harness job key) while explicit
+    knobs still win.  Without ``rng`` the historical fixed defaults
+    apply unchanged.
     """
     if resource not in _BUILDERS:
         raise ConfigError(
@@ -845,4 +870,17 @@ def generate_pair(
         raise ConfigError(
             f"unknown domain {domain!r}; choose from {DOMAINS}"
         )
+    if rng is not None:
+        space = _SAMPLE_SPACE[resource]
+        if size is None and "size" in space:
+            size = rng.choice(space["size"])
+        if stride is None and "stride" in space:
+            stride = rng.choice(space["stride"])
+        if resource == "uop_cache" and stride is None:
+            # the striped-set displacement must stay below the stripe
+            # stride (32 DSB sets / nsets), which depends on the size
+            # just drawn
+            stride = rng.randrange(1, max(2, 32 // (size or 8)))
+        if passes is None and "passes" in space:
+            passes = rng.choice(space["passes"])
     return _BUILDERS[resource](variant, domain, size, stride, config, passes)

@@ -179,7 +179,11 @@ def generate_corpus(
     p_single_load: float = 0.45,
     p_masked: float = 0.17,
     p_double_load: float = 0.09,
-) -> Program:
+    rng: Optional[random.Random] = None,
+    asm: Optional[Assembler] = None,
+    prefix: str = "fn",
+    origin: Optional[int] = None,
+) -> Optional[Program]:
     """A synthetic kernel-like code corpus with embedded gadgets.
 
     Each function has one bounds check; with the given probabilities it
@@ -188,14 +192,31 @@ def generate_corpus(
     relative abundances the paper measured in Linux (100 : 37 : 19).
     The remainder are benign checks that never touch attacker-indexed
     memory.
+
+    ``rng`` threads an explicit generator through the emission so a
+    caller (the synthesis layer) controls reproducibility without the
+    corpus owning the seed; when omitted, ``seed`` builds one, which
+    keeps the historical output byte-identical.  ``asm`` embeds the
+    corpus into an existing program instead of assembling a standalone
+    one (returns ``None``; the caller assembles): labels and table
+    reservations are derived from ``prefix`` so two embeddings cannot
+    collide, and ``origin`` places the corpus at a fixed address so its
+    regions stay clear of the host program's arenas.
     """
-    rng = random.Random(seed)
-    asm = Assembler()
-    asm.reserve("tbl", 4096)
-    asm.reserve("tbl2", 4096)
+    if rng is None:
+        rng = random.Random(seed)
+    standalone = asm is None
+    if standalone:
+        asm = Assembler()
+    tbl = "tbl" if prefix == "fn" else f"{prefix}_tbl"
+    tbl2 = "tbl2" if prefix == "fn" else f"{prefix}_tbl2"
+    asm.reserve(tbl, 4096)
+    asm.reserve(tbl2, 4096)
+    if origin is not None:
+        asm.org(origin)
     for f in range(functions):
         asm.align(64)
-        asm.label(f"fn_{f}")
+        asm.label(f"{prefix}_{f}")
         # prologue filler
         for _ in range(rng.randrange(0, 4)):
             asm.emit(enc.alu(rng.choice(["add", "xor", "or"]),
@@ -203,23 +224,23 @@ def generate_corpus(
                              rng.choice(_FILLER_REGS)))
         # the bounds check on the "untrusted" r1
         asm.emit(enc.cmp_imm("r1", 4096))
-        asm.emit(enc.jcc("ae", f"fn_{f}_out"))
+        asm.emit(enc.jcc("ae", f"{prefix}_{f}_out"))
         roll = rng.random()
         if roll < p_double_load:
-            asm.emit(enc.mov_imm("r9", asm.resolve("tbl"), width=64))
+            asm.emit(enc.mov_imm("r9", asm.resolve(tbl), width=64))
             asm.emit(enc.load("r3", "r9", index="r1", size=1))
             asm.emit(enc.alu_imm("shl", "r3", 6))
-            asm.emit(enc.mov_imm("r8", asm.resolve("tbl2"), width=64))
+            asm.emit(enc.mov_imm("r8", asm.resolve(tbl2), width=64))
             asm.emit(enc.load("r2", "r8", index="r3"))
         elif roll < p_double_load + p_masked:
-            asm.emit(enc.mov_imm("r9", asm.resolve("tbl"), width=64))
+            asm.emit(enc.mov_imm("r9", asm.resolve(tbl), width=64))
             asm.emit(enc.load("r3", "r9", index="r1", size=1))
             asm.emit(enc.alu_imm("and", "r3", 1))
             asm.emit(enc.test_reg("r3", "r3"))
-            asm.emit(enc.jcc("z", f"fn_{f}_out"))
+            asm.emit(enc.jcc("z", f"{prefix}_{f}_out"))
             asm.emit(enc.alu("add", "r4", "r5"))
         elif roll < p_double_load + p_masked + p_single_load:
-            asm.emit(enc.mov_imm("r9", asm.resolve("tbl"), width=64))
+            asm.emit(enc.mov_imm("r9", asm.resolve(tbl), width=64))
             asm.emit(enc.load("r3", "r9", index="r1", size=1))
             asm.emit(enc.alu("add", "r3", "r4"))
         else:
@@ -228,9 +249,11 @@ def generate_corpus(
                 asm.emit(enc.alu(rng.choice(["add", "sub"]),
                                  rng.choice(_FILLER_REGS),
                                  rng.choice(_FILLER_REGS)))
-        asm.label(f"fn_{f}_out")
+        asm.label(f"{prefix}_{f}_out")
         asm.emit(enc.ret())
     asm.align(64)
-    asm.label("corpus_end")
+    asm.label("corpus_end" if prefix == "fn" else f"{prefix}_corpus_end")
     asm.emit(enc.halt())
-    return asm.assemble(entry="fn_0")
+    if not standalone:
+        return None
+    return asm.assemble(entry=f"{prefix}_0")

@@ -418,3 +418,4 @@ def run_workloads(
 # and the load benchmarks resolve them inside fresh processes.
 
 from repro.harness import attacks, contention, debugfns  # noqa: E402,F401  (registers)
+from repro.synth import jobs as _synth_jobs  # noqa: E402,F401  (registers)

@@ -68,15 +68,13 @@ class BuiltTarget:
 @contextmanager
 def _no_preflight():
     """Build sessions without the construction-time preflight: the
-    runner wants the diagnostics as data, not as a raised LintError."""
-    from repro.session import AttackSession
+    runner wants the diagnostics as data, not as a raised LintError.
+    Delegates to the thread-local :func:`repro.session.no_preflight`
+    so concurrent builds in other threads keep their lint gating."""
+    from repro.session import no_preflight
 
-    prev = AttackSession.preflight
-    AttackSession.preflight = False
-    try:
+    with no_preflight():
         yield
-    finally:
-        AttackSession.preflight = prev
 
 
 # ----------------------------------------------------------------------

@@ -226,6 +226,69 @@ class ServeClient:
             else:
                 time.sleep(poll)
 
+    def submit_many(self, specs: Sequence[Dict[str, Any]],
+                    max_in_flight: int = 8,
+                    timeout: Optional[float] = None,
+                    backpressure_retries: int = 5,
+                    poll: float = 0.05) -> List[Dict[str, Any]]:
+        """Submit a batch with at most ``max_in_flight`` unfinished
+        jobs on the server; returns terminal records in spec order.
+
+        Backpressure is honoured *across the batch*: one 429 pauses all
+        further submissions until the server's ``Retry-After`` estimate
+        has elapsed (in-flight jobs keep being polled and drained
+        meanwhile), instead of every pending spec independently
+        hammering a full queue.  Each spec gets at most
+        ``backpressure_retries`` re-submissions; ``timeout`` bounds the
+        whole batch on the monotonic clock.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results: List[Optional[Dict[str, Any]]] = [None] * len(specs)
+        pending: List[Tuple[int, Dict[str, Any], int]] = [
+            (i, spec, 0) for i, spec in enumerate(specs)]
+        pending.reverse()  # pop() submits in spec order
+        # job id -> spec indices: identical specs coalesce server-side
+        # onto ONE job id, so several batch slots can ride one job
+        in_flight: Dict[str, List[int]] = {}
+        pause_until = 0.0
+        while pending or in_flight:
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"submit_many: {len(pending)} unsubmitted, "
+                    f"{len(in_flight)} in flight after {timeout}s")
+            # top up the window, unless the fleet asked for a pause
+            while (pending and len(in_flight) < max_in_flight
+                   and time.monotonic() >= pause_until):
+                index, spec, attempts = pending.pop()
+                try:
+                    record = self.submit(spec)
+                except Backpressure as exc:
+                    if attempts >= backpressure_retries:
+                        raise
+                    pause_until = time.monotonic() + min(exc.retry_after, 10.0)
+                    pending.append((index, spec, attempts + 1))
+                    break
+                if record.get("status") in _TERMINAL:
+                    results[index] = record  # cache answered at admission
+                else:
+                    in_flight.setdefault(record["id"], []).append(index)
+            # drain whatever finished
+            for job_id in list(in_flight):
+                record = self.status(job_id)
+                if record.get("status") in _TERMINAL:
+                    for index in in_flight.pop(job_id):
+                        results[index] = record
+            if pending or in_flight:
+                delay = poll
+                if pending and len(in_flight) < max_in_flight:
+                    delay = min(delay, max(0.0,
+                                           pause_until - time.monotonic()))
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline - time.monotonic()))
+                if delay:
+                    time.sleep(delay)
+        return results  # type: ignore[return-value]  (all slots filled)
+
     def submit_and_wait(self, spec: Dict[str, Any],
                         timeout: Optional[float] = None,
                         backpressure_retries: int = 5) -> Dict[str, Any]:

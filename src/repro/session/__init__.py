@@ -1,6 +1,18 @@
 """Attack-session layer: shared driver lifecycle over reusable cores."""
 
-from repro.session.base import AttackSession, read_elapsed
+from repro.session.base import (
+    AttackSession,
+    no_preflight,
+    preflight_suppressed,
+    read_elapsed,
+)
 from repro.session.pool import SessionPool, shared_pool
 
-__all__ = ["AttackSession", "SessionPool", "read_elapsed", "shared_pool"]
+__all__ = [
+    "AttackSession",
+    "SessionPool",
+    "no_preflight",
+    "preflight_suppressed",
+    "read_elapsed",
+    "shared_pool",
+]

@@ -36,7 +36,9 @@ hook rather than inline in ``__init__``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.timing import ProbeTiming, TimingClassifier
 from repro.cpu.config import CPUConfig
@@ -47,6 +49,34 @@ from repro.isa.program import Program
 
 #: Sentinel for ``reset(noise=...)``: "keep the current model".
 _KEEP_NOISE = object()
+
+#: Per-thread preflight-suppression depth (see :func:`no_preflight`).
+_preflight_suppressed = threading.local()
+
+
+def preflight_suppressed() -> bool:
+    """True while the *current thread* is inside :func:`no_preflight`."""
+    return getattr(_preflight_suppressed, "depth", 0) > 0
+
+
+@contextmanager
+def no_preflight() -> Iterator[None]:
+    """Build sessions without the construction-time lint preflight.
+
+    Thread-local and re-entrant: suppression only affects sessions the
+    current thread constructs, so a serve worker computing job keys in
+    one thread cannot race another thread's lint-gated construction
+    (the save/restore of a class-global flag did exactly that, leaving
+    the preflight stuck off process-wide).  The lint runner and the
+    synthesis pipeline both build through this -- they want diagnostics
+    as data, not a raised ``LintError``.
+    """
+    _preflight_suppressed.depth = getattr(
+        _preflight_suppressed, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _preflight_suppressed.depth -= 1
 
 
 def read_elapsed(core: Core, addr: int) -> int:
@@ -96,7 +126,7 @@ class AttackSession:
         #: a driver that declares secrets).
         self.taint_report = None
         self.setup()
-        if self.preflight:
+        if self.preflight and not preflight_suppressed():
             self._run_preflight()
 
     # ------------------------------------------------------------------

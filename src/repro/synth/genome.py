@@ -1,0 +1,226 @@
+"""The attack-program search space: genomes, sampling and operators.
+
+A genome is a flat, JSON-able dict of genes describing one candidate
+attack program.  Two families share the space:
+
+``covert``
+    The tiger/zebra micro-op cache channel (Section V-A) generalised
+    over every knob the hand-written :class:`~repro.core.covert.
+    CovertChannel` fixes: striped-set geometry (``nsets``/``nways``
+    plus *alignment shifts* of both arms), region *padding* (NOP
+    count/length, length-changing prefixes), the sampling schedule,
+    and a *gadget-substitution* gene pair (``cover``/``cover_seed``)
+    that embeds a seeded slice of the Section VI-A gadget corpus
+    (:func:`repro.core.gadgets.generate_corpus`) as decoy code --
+    changing the program's static surface and content hash without
+    touching the executed channel.
+
+``smt``
+    The cross-thread episode channels of
+    :mod:`repro.contention.channels` (iTLB walks, store-buffer
+    drain-port floods), whose layout genes are seeded from the
+    contention template sampler
+    (:func:`repro.contention.templates.generate_pair` with an explicit
+    ``rng`` -- satellite of the same PR), then mutated directly.
+
+Gene ranges are deliberately *wider* than the valid space: the staged
+fitness pipeline (see :mod:`repro.synth.candidate`) is what rejects
+the out-of-range part, for free, before any simulation -- sampling
+only valid genomes would leave the assemble/lint stages untested and
+the paper's point (most of the raw space is junk) unreproduced.
+
+Everything is driven by one explicit :class:`random.Random`; the same
+seed replays the identical population, which is what makes warm serve
+reruns execute zero new jobs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.contention.templates import generate_pair
+
+#: Genome gene, in sampling order.  Kept explicit so crossover walks a
+#: stable gene list and content hashes never depend on dict order.
+Genome = Dict[str, int]
+
+FAMILIES = ("covert", "smt")
+SMT_RESOURCES = ("itlb", "store_buffer")
+
+#: Sampling ranges, intentionally overshooting validity (see module
+#: docstring).  ``randrange``-style half-open [lo, hi).
+_COVERT_RANGES = {
+    "nsets": (1, 33),          # valid: 1..16 and offset < 32//nsets
+    "nways": (1, 17),          # valid: 1..8
+    "tiger_offset": (0, 8),    # valid: < 32//nsets
+    "zebra_offset": (0, 12),   # valid: < 32//nsets, lint: disjoint arms
+    "nops": (0, 11),           # valid: nops*nop_len + 5 <= 32
+    "nop_len": (1, 11),
+    "lcp": (0, 3),
+    "jmp_lcp": (0, 3),
+    "samples": (1, 9),
+    "sender_reps": (1, 6),
+    "prime_reps": (1, 3),
+    "cover": (0, 4),           # embedded gadget-corpus functions
+    "cover_seed": (0, 1 << 16),
+}
+
+_SMT_RANGES = {
+    "itlb": {
+        "rx_pages": (2, 33),       # lint: rx + idle page must fit the iTLB
+        "tx_pages": (2, 33),       # lint: rx + tx must *exceed* capacity
+        "probe_passes": (2, 7),
+        "sender_loops": (2, 9),
+        "delay_iters": (50, 301),
+    },
+    "store_buffer": {
+        "rx_stores": (2, 81),      # valid: burst must oversubscribe entries
+        "tx_stores": (4, 97),      # valid: flood must oversubscribe entries
+        "probe_passes": (2, 7),
+        "sender_loops": (2, 13),
+    },
+}
+
+#: Operator names, for reports and the mutation log.
+OPERATORS = ("align", "pad", "gadget", "relayout", "schedule")
+
+
+def _draw(rng: random.Random, lo: int, hi: int) -> int:
+    return rng.randrange(lo, hi)
+
+
+def new_genome(rng: random.Random) -> Genome:
+    """Sample one raw genome (either family) from the full space."""
+    if rng.random() < 0.75:
+        return new_covert_genome(rng)
+    return new_smt_genome(rng)
+
+
+def new_covert_genome(rng: random.Random) -> Genome:
+    g: Genome = {"family": "covert"}
+    for gene, (lo, hi) in _COVERT_RANGES.items():
+        g[gene] = _draw(rng, lo, hi)
+    return g
+
+
+def new_smt_genome(rng: random.Random) -> Genome:
+    """Sample an episode-channel genome.
+
+    A third of the draws seed their layout genes from the contention
+    template sampler (:func:`generate_pair` with an explicit ``rng`` --
+    satellite of the same PR), reusing the templates' known-good
+    footprint geometry; the rest draw the layout from the raw
+    overshooting ranges, so the assemble/lint stages see the junk part
+    of the episode space too."""
+    resource = rng.choice(SMT_RESOURCES)
+    g: Genome = {"family": "smt", "resource": resource}
+    if rng.random() < 1.0 / 3.0:
+        pair = generate_pair(resource, rng=rng)
+        if resource == "itlb":
+            g["rx_pages"] = int(pair.meta["victim_pages"]) - 1
+            g["tx_pages"] = int(pair.meta["attacker_pages"]) - 1
+            g["delay_iters"] = 50 * int(pair.meta["passes"])
+        else:
+            g["rx_stores"] = int(pair.meta["victim_stores"])
+            g["tx_stores"] = int(pair.meta["attacker_stores"])
+    for gene, (lo, hi) in _SMT_RANGES[resource].items():
+        if gene not in g:
+            g[gene] = _draw(rng, lo, hi)
+    return g
+
+
+def _gene_ranges(genome: Genome) -> Dict[str, tuple]:
+    if genome["family"] == "covert":
+        return _COVERT_RANGES
+    return _SMT_RANGES[genome["resource"]]
+
+
+#: Which genes each named operator may touch, per family/resource.
+#: Operators redraw their whole gene group jointly, so a mutant of a
+#: converged parent can still fall off the valid manifold -- the
+#: staged pipeline, not the operator, decides what survives.
+_OPERATOR_GENES = {
+    "align": ("tiger_offset", "zebra_offset"),
+    "pad": ("nops", "nop_len", "lcp", "jmp_lcp"),
+    "gadget": ("cover", "cover_seed"),
+    "relayout": ("nsets", "nways"),
+    "schedule": ("samples", "sender_reps", "prime_reps"),
+}
+
+_SMT_OPERATOR_GENES = {
+    "itlb": {
+        "relayout": ("rx_pages", "tx_pages"),
+        "schedule": ("probe_passes", "sender_loops", "delay_iters"),
+    },
+    "store_buffer": {
+        "relayout": ("rx_stores", "tx_stores"),
+        "schedule": ("probe_passes", "sender_loops"),
+    },
+}
+
+
+def mutate(genome: Genome, rng: random.Random) -> Genome:
+    """One seeded mutation: pick an operator, redraw its genes.
+
+    Covert genomes mutate through the named operators of the paper's
+    hand-tuning axes (alignment shifts, padding, gadget substitution,
+    set-targeting relayouts, sampling schedule); smt genomes relayout
+    their episode footprints or redraw the probe/flood schedule.
+    Always returns a *new* dict.
+    """
+    child = dict(genome)
+    ranges = _gene_ranges(genome)
+    if genome["family"] == "covert":
+        op = rng.choice(OPERATORS)
+        genes = _OPERATOR_GENES[op]
+    else:
+        groups = _SMT_OPERATOR_GENES[genome["resource"]]
+        genes = groups[rng.choice(sorted(groups))]
+    for gene in genes:
+        lo, hi = ranges[gene]
+        child[gene] = _draw(rng, lo, hi)
+    return child
+
+
+def crossover(a: Genome, b: Genome, rng: random.Random) -> Genome:
+    """Uniform crossover.  Cross-family parents cannot mix (the gene
+    sets are disjoint); the child then clones parent ``a`` with one
+    mutation instead, so the operator is total."""
+    if a["family"] != b["family"] or a.get("resource") != b.get("resource"):
+        return mutate(a, rng)
+    child: Genome = {"family": a["family"]}
+    if "resource" in a:
+        child["resource"] = a["resource"]
+    for gene in sorted(_gene_ranges(a)):
+        child[gene] = (a if rng.random() < 0.5 else b)[gene]
+    return child
+
+
+def seed_population(
+    rng: random.Random,
+    size: int,
+    include_baseline: bool = True,
+) -> List[Genome]:
+    """The generation-0 population: random genomes plus (optionally)
+    the paper's hand-written operating point, so the search always
+    contains the Table-I baseline as an ancestor to improve on."""
+    population: List[Genome] = []
+    if include_baseline and size > 0:
+        population.append(baseline_genome())
+    while len(population) < size:
+        population.append(new_genome(rng))
+    return population
+
+
+def baseline_genome() -> Genome:
+    """The hand-written covert channel's operating point (8 striped
+    sets, 6 ways, 5 samples, 3 sender reps -- Figure 9's center)."""
+    return {
+        "family": "covert",
+        "nsets": 8, "nways": 6,
+        "tiger_offset": 0, "zebra_offset": 2,
+        "nops": 3, "nop_len": 5, "lcp": 1, "jmp_lcp": 1,
+        "samples": 5, "sender_reps": 3, "prime_reps": 1,
+        "cover": 0, "cover_seed": 0,
+    }

@@ -1,0 +1,57 @@
+"""Pluggable search objectives over the ``synth.measure`` row.
+
+Every objective is a pure function of the one measured row (the job
+measures everything once -- see :mod:`repro.synth.jobs`), so switching
+objectives re-scores cached rows without re-simulating anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+#: Raw bit-error rate above which a channel is considered broken: no
+#: realistic framing recovers from it, so the fitness gates to zero
+#: rather than rewarding fast garbage.
+MAX_ERROR_RATE = 0.15
+
+
+def bandwidth(row: Dict[str, Any]) -> float:
+    """Raw covert bandwidth (Table I's Kbit/s), error-gated."""
+    if row["error_rate"] > MAX_ERROR_RATE:
+        return 0.0
+    return row["bandwidth_kbps"]
+
+
+def capacity(row: Dict[str, Any]) -> float:
+    """Error-corrected goodput: Reed-Solomon framed bandwidth, zero
+    unless the decode actually recovered the payload."""
+    if not row["corrected_ok"]:
+        return 0.0
+    return row["corrected_bandwidth_kbps"]
+
+
+def stealth(row: Dict[str, Any]) -> float:
+    """Detector evasion as fitness-with-penalty (RELOAD+REFRESH's
+    objective): bandwidth scaled by how close the Table-II detector is
+    to chance.  AUC 0.5 keeps full bandwidth, AUC 1.0 zeroes it."""
+    if row["error_rate"] > MAX_ERROR_RATE:
+        return 0.0
+    evasion = max(0.0, 2.0 * (1.0 - row["detector_auc"]))
+    return row["bandwidth_kbps"] * min(1.0, evasion)
+
+
+OBJECTIVES: Dict[str, Callable[[Dict[str, Any]], float]] = {
+    "bandwidth": bandwidth,
+    "capacity": capacity,
+    "stealth": stealth,
+}
+
+
+def get_objective(name: str) -> Callable[[Dict[str, Any]], float]:
+    """Look up an objective by CLI name."""
+    try:
+        return OBJECTIVES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown objective {name!r}; choose from {sorted(OBJECTIVES)}"
+        ) from None

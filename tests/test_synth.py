@@ -1,0 +1,254 @@
+"""repro.synth: genome space, staged pipeline, search determinism.
+
+The load-bearing contracts:
+
+- the search space *contains* the paper's operating point: the
+  baseline genome rebuilds the hand-written covert channel's program
+  byte-for-byte (same content fingerprint);
+- every candidate that survives the free static stages is a
+  well-formed harness job -- no malformed program can reach the serve
+  queue (the hypothesis property sweeps mutation/crossover chains);
+- the search is a pure function of its config: same seed and budget
+  reproduce the identical best-candidate key, and a warm cache answers
+  the rerun without executing a single job.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.covert import ChannelParams, CovertChannel
+from repro.cpu.config import CPUConfig
+from repro.harness.cache import ResultCache
+from repro.harness.job import fingerprint_program
+from repro.synth import (
+    LocalEvaluator,
+    SynthConfig,
+    baseline_genome,
+    best_report,
+    build_session,
+    crossover,
+    evaluate_static,
+    get_objective,
+    measure_job,
+    mutate,
+    new_genome,
+    run_search,
+    search_key,
+    seed_population,
+    spearman,
+)
+from repro.synth.candidate import _no_preflight
+
+
+def _fast_config(**overrides):
+    base = dict(budget=24, population=12, finalists=3, elite=3,
+                payload=b"sy", detector_bits=2, seed=99)
+    base.update(overrides)
+    return SynthConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# genome space
+
+
+def test_baseline_genome_rebuilds_the_hand_written_channel():
+    with _no_preflight():
+        hand = CovertChannel(ChannelParams(calibration_rounds=6)).program
+        synth = build_session(baseline_genome()).program
+    assert fingerprint_program(synth) == fingerprint_program(hand)
+
+
+def test_seed_population_contains_the_baseline_and_is_seeded():
+    a = seed_population(random.Random(5), 10)
+    b = seed_population(random.Random(5), 10)
+    assert a == b
+    assert baseline_genome() in a
+
+
+def test_mutate_returns_a_new_dict_of_the_same_family():
+    rng = random.Random(1)
+    for _ in range(50):
+        parent = new_genome(rng)
+        child = mutate(parent, rng)
+        assert child is not parent
+        assert child["family"] == parent["family"]
+
+
+def test_crossover_of_cross_family_parents_is_total():
+    rng = random.Random(2)
+    covert = baseline_genome()
+    smt = next(g for g in (new_genome(random.Random(i)) for i in range(99))
+               if g["family"] == "smt")
+    child = crossover(covert, smt, rng)
+    assert child["family"] == "covert"  # clones parent a, mutated
+
+
+# ----------------------------------------------------------------------
+# staged pipeline
+
+
+def test_out_of_range_geometry_rejects_at_assembly():
+    bad = dict(baseline_genome(), nsets=20)  # > 16 sets
+    cand = evaluate_static(bad)
+    assert cand.stage == "rejected-assembly"
+    assert "ConfigError" in cand.reject
+
+
+def test_undersized_store_burst_rejects_at_assembly():
+    cand = evaluate_static({
+        "family": "smt", "resource": "store_buffer",
+        "rx_stores": 10, "tx_stores": 64,
+        "probe_passes": 4, "sender_loops": 8,
+    })
+    assert cand.stage == "rejected-assembly"
+    assert "store buffer" in cand.reject
+
+
+def test_oversubscribed_itlb_receiver_rejects_at_lint():
+    cand = evaluate_static({
+        "family": "smt", "resource": "itlb",
+        "rx_pages": 20, "tx_pages": 24, "probe_passes": 4,
+        "sender_loops": 4, "delay_iters": 150,
+    })
+    assert cand.stage == "rejected-lint"
+    assert "RC003" in cand.reject
+
+
+def test_survivor_carries_taint_capacity_and_static_rate():
+    cand = evaluate_static(baseline_genome())
+    assert cand.stage == "static"
+    assert cand.capacity_bits == pytest.approx(1.0)
+    assert cand.static_rate_kbps > 0
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       ops=st.lists(st.sampled_from(["mutate", "cross"]),
+                    min_size=0, max_size=3))
+def test_every_bred_candidate_is_rejected_or_submittable(seed, ops):
+    """No malformed program reaches the serve queue: any genome a
+    mutation/crossover chain can produce either dies in the free
+    static stages or yields a job whose program builder (the same code
+    the serve layer runs at admission) succeeds."""
+    rng = random.Random(seed)
+    genome = new_genome(rng)
+    for op in ops:
+        if op == "mutate":
+            genome = mutate(genome, rng)
+        else:
+            genome = crossover(genome, new_genome(rng), rng)
+    cand = evaluate_static(genome)
+    assert cand.stage in ("static", "rejected-assembly", "rejected-lint")
+    if cand.stage == "static":
+        key = measure_job(cand.genome).key()  # runs the program builder
+        assert len(key) == 64
+
+
+# ----------------------------------------------------------------------
+# objectives
+
+
+def test_bandwidth_objective_gates_on_error_rate():
+    obj = get_objective("bandwidth")
+    assert obj({"bandwidth_kbps": 100.0, "error_rate": 0.0,
+                "corrected_ok": True, "corrected_bandwidth_kbps": 90.0,
+                "detector_auc": 1.0}) == 100.0
+    assert obj({"bandwidth_kbps": 100.0, "error_rate": 0.5,
+                "corrected_ok": False, "corrected_bandwidth_kbps": 0.0,
+                "detector_auc": 1.0}) == 0.0
+
+
+def test_stealth_objective_penalizes_detectable_channels():
+    obj = get_objective("stealth")
+    loud = {"bandwidth_kbps": 100.0, "error_rate": 0.0,
+            "corrected_ok": True, "corrected_bandwidth_kbps": 90.0,
+            "detector_auc": 1.0}
+    quiet = dict(loud, detector_auc=0.5)
+    assert obj(loud) == 0.0
+    assert obj(quiet) == pytest.approx(100.0)
+
+
+def test_unknown_objective_is_an_error():
+    with pytest.raises(ValueError):
+        get_objective("profit")
+
+
+# ----------------------------------------------------------------------
+# spearman (no SciPy)
+
+
+def test_spearman_perfect_and_inverted():
+    assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+    assert spearman([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+
+def test_spearman_handles_ties_and_degenerate_input():
+    assert spearman([1, 1, 2], [1, 1, 2]) == pytest.approx(1.0)
+    assert spearman([1, 1, 1], [1, 2, 3]) == 0.0
+    assert spearman([1], [2]) == 0.0
+
+
+# ----------------------------------------------------------------------
+# search determinism
+
+
+def test_same_seed_and_budget_reproduce_the_identical_best_key(tmp_path):
+    config = _fast_config()
+    results = []
+    for sub in ("a", "b"):
+        cache = ResultCache(tmp_path / sub)
+        res = run_search(config, LocalEvaluator(workers=0, cache=cache),
+                         cache=cache)
+        results.append(res)
+    best_a, best_b = (r.best for r in results)
+    assert best_a is not None
+    assert best_a.key == best_b.key
+    assert best_a.fitness == best_b.fitness
+    assert [g.as_dict() for g in results[0].generations] == \
+        [g.as_dict() for g in results[1].generations]
+
+
+def test_warm_rerun_executes_zero_new_jobs(tmp_path):
+    config = _fast_config()
+    cache = ResultCache(tmp_path)
+    cold = LocalEvaluator(workers=0, cache=cache)
+    first = run_search(config, cold, cache=cache)
+    assert cold.stats.executed > 0
+    warm = LocalEvaluator(workers=0, cache=cache)
+    second = run_search(config, warm, cache=cache)
+    assert warm.stats.executed == 0
+    assert warm.stats.cached == warm.stats.submitted
+    assert second.best.key == first.best.key
+
+
+def test_search_measures_the_baseline_anchor_and_checkpoints(tmp_path):
+    config = _fast_config()
+    cache = ResultCache(tmp_path)
+    res = run_search(config, LocalEvaluator(workers=0, cache=cache),
+                     cache=cache)
+    anchor_key = measure_job(baseline_genome(), config.noise_seed,
+                             config.payload, config.detector_bits).key()
+    assert any(c.key == anchor_key for c in res.measured)
+    ckpt = cache.artifact_path(search_key(config), "gen-000.json")
+    assert ckpt.is_file()
+
+
+def test_best_report_shape(tmp_path):
+    config = _fast_config()
+    cache = ResultCache(tmp_path)
+    res = run_search(config, LocalEvaluator(workers=0, cache=cache),
+                     cache=cache)
+    report = best_report(res)
+    assert report["objective"] == "bandwidth"
+    assert report["key"] == res.best.key
+    assert report["listing"], "report must include a program listing"
+    assert report["funnel"]["raw"] == config.budget
+    assert 0.0 < report["funnel"]["static_reject_rate"] < 1.0
+
+
+def test_search_key_tracks_the_config():
+    assert search_key(_fast_config()) != search_key(_fast_config(seed=100))
+    assert search_key(_fast_config()) == search_key(_fast_config())
